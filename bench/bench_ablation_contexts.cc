@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: microcontext count. The SSMT substrate (Chappell et
+ * al., ISCA 1999) allocates a microcontext per live microthread;
+ * this paper reports 67% of spawn attempts aborting pre-allocation,
+ * partly from context exhaustion. This sweep shows how many
+ * concurrent contexts the mechanism actually needs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace ssmt;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = bench::quickMode(argc, argv);
+    std::vector<std::string> names =
+        quick ? std::vector<std::string>{"comp", "go"}
+              : std::vector<std::string>{"comp", "go", "perl",
+                                         "crafty_2k", "twolf_2k",
+                                         "mcf_2k"};
+
+    std::printf("Ablation: microcontext count (n = 10, T = .10, "
+                "no pruning)\n\n");
+    std::printf("%-12s", "bench");
+    for (uint32_t contexts : {1u, 2u, 4u, 8u, 16u, 32u})
+        std::printf(" %8u", contexts);
+    std::printf("   no-context abort%% @8\n");
+    bench::hr(88);
+
+    for (const auto &name : names) {
+        isa::Program prog = workloads::makeWorkload(name);
+        sim::MachineConfig base_cfg;
+        sim::Stats base = sim::runProgram(prog, base_cfg);
+        std::printf("%-12s", name.c_str());
+        double no_ctx_at_8 = 0.0;
+        for (uint32_t contexts : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            sim::MachineConfig cfg;
+            cfg.mode = sim::Mode::Microthread;
+            cfg.numMicrocontexts = contexts;
+            sim::Stats stats = sim::runProgram(prog, cfg);
+            std::printf(" %8.3f", sim::speedup(stats, base));
+            if (contexts == 8 && stats.spawnAttempts) {
+                no_ctx_at_8 =
+                    static_cast<double>(stats.spawnNoContext) /
+                    static_cast<double>(stats.spawnAttempts);
+            }
+            std::fflush(stdout);
+        }
+        std::printf("   %5.1f%%\n", 100.0 * no_ctx_at_8);
+    }
+    std::printf("\nShape: speed-up grows with contexts and is still "
+                "climbing at 8 (our default,\nmatching the SSMT-era "
+                "assumption) on loop-dense proxies — difficult "
+                "branches\nrecur every few dozen instructions here, "
+                "so spawn demand outstrips the\npaper-era context "
+                "budget; the no-context abort column quantifies "
+                "it.\n");
+    return 0;
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot hardware structures:
+ * the Path_Id hash, path tracker, branch predictors, value
+ * predictor, caches, Path Cache, Prediction Cache, microthread
+ * builder, and the end-to-end simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/frontend_predictor.hh"
+#include "bpred/hybrid.hh"
+#include "core/path_cache.hh"
+#include "core/path_tracker.hh"
+#include "core/prediction_cache.hh"
+#include "core/uthread_builder.hh"
+#include "cpu/ssmt_core.hh"
+#include "memory/hierarchy.hh"
+#include "sim/sim_runner.hh"
+#include "vpred/value_predictor.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+void
+BM_PathHashStep(benchmark::State &state)
+{
+    core::PathId h = 0;
+    uint64_t addr = 0x1234;
+    for (auto _ : state) {
+        h = core::hashStep(h, addr);
+        addr += 4;
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_PathHashStep);
+
+void
+BM_PathTrackerPathId(benchmark::State &state)
+{
+    core::PathTracker tracker(16);
+    for (int i = 0; i < 16; i++)
+        tracker.push(static_cast<uint64_t>(i) * 40);
+    int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tracker.pathId(n));
+        tracker.push(0x400);
+    }
+}
+BENCHMARK(BM_PathTrackerPathId)->Arg(4)->Arg(10)->Arg(16);
+
+void
+BM_HybridPredictUpdate(benchmark::State &state)
+{
+    bpred::Hybrid hybrid;
+    uint64_t pc = 0;
+    for (auto _ : state) {
+        bool taken = (pc & 3) != 0;
+        benchmark::DoNotOptimize(hybrid.predict(pc));
+        hybrid.update(pc, taken);
+        pc = (pc + 7) & 0xffff;
+    }
+}
+BENCHMARK(BM_HybridPredictUpdate);
+
+void
+BM_ValuePredictorTrain(benchmark::State &state)
+{
+    vpred::ValuePredictor vp;
+    uint64_t pc = 0;
+    uint64_t value = 0;
+    for (auto _ : state) {
+        vp.train(pc, value);
+        pc = (pc + 3) & 0xfff;
+        value += 8;
+    }
+}
+BENCHMARK(BM_ValuePredictorTrain);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::Cache cache("bench", 64 * 1024, 2, 64);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 4096 + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyRead(benchmark::State &state)
+{
+    memory::Hierarchy hier;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.read(addr));
+        addr = (addr + 64) & 0x3fffff;
+    }
+}
+BENCHMARK(BM_HierarchyRead);
+
+void
+BM_PathCacheUpdate(benchmark::State &state)
+{
+    core::PathCache pc(8192, 8, 32, 0.10);
+    uint64_t id = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pc.update(id, (id & 7) == 0));
+        id = (id * 0x9e3779b97f4a7c15ull) >> 13;
+    }
+}
+BENCHMARK(BM_PathCacheUpdate);
+
+void
+BM_PredictionCacheWriteLookup(benchmark::State &state)
+{
+    core::PredictionCache pcache(128);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        pcache.write(1, seq + 50, true, 0, seq);
+        benchmark::DoNotOptimize(pcache.lookup(1, seq + 50));
+        if ((seq & 63) == 0)
+            pcache.reclaimOlderThan(seq);
+        seq++;
+    }
+}
+BENCHMARK(BM_PredictionCacheWriteLookup);
+
+void
+BM_MicrothreadBuild(benchmark::State &state)
+{
+    // A representative PRB: one path branch, a 24-op dataflow
+    // region, and the terminating branch.
+    core::Prb prb(512);
+    core::PrbEntry jump;
+    jump.pc = 5;
+    jump.inst = isa::Inst{isa::Opcode::J, isa::kNoReg, isa::kNoReg,
+                          isa::kNoReg, 10};
+    jump.taken = true;
+    jump.target = 10;
+    prb.push(jump);
+    for (uint64_t i = 0; i < 24; i++) {
+        core::PrbEntry entry;
+        entry.seq = 100 + i;
+        entry.pc = 10 + i;
+        entry.inst = isa::Inst{isa::Opcode::Addi,
+                               static_cast<isa::RegIndex>(1 + i % 8),
+                               static_cast<isa::RegIndex>(1 + (i + 1) % 8),
+                               isa::kNoReg, 1};
+        prb.push(entry);
+    }
+    core::PrbEntry branch;
+    branch.seq = 200;
+    branch.pc = 40;
+    branch.inst = isa::Inst{isa::Opcode::Bne, isa::kNoReg, 1, 0, 50};
+    branch.taken = true;
+    branch.target = 50;
+    prb.push(branch);
+
+    core::PathId id = core::hashStep(0, 5 * isa::kInstBytes);
+    vpred::ValuePredictor vp, ap;
+    core::UthreadBuilder builder;
+    for (auto _ : state) {
+        auto thread = builder.build(prb, id, 1, vp, ap);
+        benchmark::DoNotOptimize(thread);
+    }
+}
+BENCHMARK(BM_MicrothreadBuild);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // End-to-end simulated instructions per second on the synthetic
+    // kernel, per machine mode.
+    workloads::SyntheticSpec spec;
+    spec.iters = 20;
+    isa::Program prog = workloads::makeSynthetic(spec);
+    sim::MachineConfig cfg;
+    cfg.mode = static_cast<sim::Mode>(state.range(0));
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::Stats stats = sim::runProgram(prog, cfg);
+        insts += stats.retiredInsts;
+    }
+    state.counters["sim_inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Arg(static_cast<int>(sim::Mode::Baseline))
+    ->Arg(static_cast<int>(sim::Mode::Microthread))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

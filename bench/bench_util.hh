@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ */
+
+#ifndef SSMT_BENCH_BENCH_UTIL_HH
+#define SSMT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hh"
+#include "sim/sim_runner.hh"
+#include "workloads/workloads.hh"
+
+namespace ssmt
+{
+namespace bench
+{
+
+/**
+ * Scale selection: `--quick` runs a third of the suite for smoke
+ * checks; full is the default used for the recorded results.
+ */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++)
+        if (std::string(argv[i]) == "--quick")
+            return true;
+    return false;
+}
+
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; i++)
+        if (std::string(argv[i]) == flag)
+            return true;
+    return false;
+}
+
+/** The benchmark list (full suite or a quick subset). */
+inline std::vector<workloads::WorkloadInfo>
+benchSuite(bool quick)
+{
+    const auto &all = workloads::allWorkloads();
+    if (!quick)
+        return all;
+    std::vector<workloads::WorkloadInfo> subset;
+    for (size_t i = 0; i < all.size(); i += 3)
+        subset.push_back(all[i]);
+    return subset;
+}
+
+/** Run one workload under one config. */
+inline sim::Stats
+run(const workloads::WorkloadInfo &info, const sim::MachineConfig &cfg)
+{
+    return sim::runProgram(info.make({}), cfg);
+}
+
+inline void
+hr(int width = 78)
+{
+    std::string line(width, '-');
+    std::printf("%s\n", line.c_str());
+}
+
+} // namespace bench
+} // namespace ssmt
+
+#endif // SSMT_BENCH_BENCH_UTIL_HH

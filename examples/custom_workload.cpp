@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Writing your own workload: the parameterizable synthetic kernel
+ * sweeps branch bias per call site, mapping out exactly when
+ * difficult-path microthreading pays — the paper's Section 3 story
+ * as a single runnable curve.
+ *
+ *   ./custom_workload
+ */
+
+#include <cstdio>
+
+#include "sim/sim_runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace ssmt;
+
+int
+main()
+{
+    std::printf("Shared helper reached from 4 call sites; two sites "
+                "scan fully biased data,\ntwo scan data with the "
+                "sweep's taken-probability. Difficulty lives in "
+                "the\n*path*, not the static branch — the paper's "
+                "Section 3 setting.\n\n");
+    std::printf("The sweep exposes the mechanism's core tension: at "
+                "50%% the branch is\nmaximally difficult but the "
+                "paths themselves deviate constantly (spawned\n"
+                "microthreads abort); towards 100%% the paths are "
+                "stable but there is\nnothing left to predict. The "
+                "sweet spot sits in between.\n\n");
+    std::printf("%6s %13s %13s %10s %12s\n", "taken%", "hw mispredict",
+                "used mispred", "speed-up", "post-abort%");
+
+    for (int bias : {50, 65, 80, 90, 100}) {
+        workloads::SyntheticSpec spec;
+        spec.numSites = 4;
+        spec.elemsPerSite = 64;
+        spec.takenPercent = {0, 100, bias, bias};
+        spec.iters = 150;
+        isa::Program prog = workloads::makeSynthetic(spec);
+
+        sim::MachineConfig cfg;
+        sim::Stats base = sim::runProgram(prog, cfg);
+        cfg.mode = sim::Mode::Microthread;
+        cfg.builder.pruningEnabled = true;
+        sim::Stats mt = sim::runProgram(prog, cfg);
+        std::printf("%5d%% %12.2f%% %12.2f%% %9.3fx %11.1f%%\n", bias,
+                    100 * base.hwMispredictRate(),
+                    100 * mt.usedMispredictRate(),
+                    sim::speedup(mt, base),
+                    100 * mt.postSpawnAbortRate());
+    }
+
+    std::printf("\nTo build a custom program directly, use "
+                "isa::ProgramBuilder (see\nexamples/quickstart.cpp) "
+                "or copy one of src/workloads/wl_*.cc.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "bpred/btb.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+Btb::Btb(uint64_t num_entries, uint32_t assoc)
+    : entries_(num_entries), numSets_(num_entries / assoc),
+      assoc_(assoc)
+{
+    SSMT_ASSERT(num_entries % assoc == 0 &&
+                (numSets_ & (numSets_ - 1)) == 0,
+                "BTB geometry must be power-of-two sets");
+}
+
+std::optional<uint64_t>
+Btb::lookup(uint64_t pc)
+{
+    lookups_++;
+    uint64_t set = pc & (numSets_ - 1);
+    Entry *base = &entries_[set * assoc_];
+    for (uint32_t way = 0; way < assoc_; way++) {
+        if (base[way].valid && base[way].pc == pc) {
+            hits_++;
+            base[way].lastUse = ++stamp_;
+            return base[way].target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    uint64_t set = pc & (numSets_ - 1);
+    Entry *base = &entries_[set * assoc_];
+    Entry *victim = &base[0];
+    for (uint32_t way = 0; way < assoc_; way++) {
+        if (base[way].valid && base[way].pc == pc) {
+            base[way].target = target;
+            base[way].lastUse = ++stamp_;
+            return;
+        }
+        if (!base[way].valid) {
+            victim = &base[way];
+        } else if (victim->valid &&
+                   base[way].lastUse < victim->lastUse) {
+            victim = &base[way];
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = ++stamp_;
+}
+
+} // namespace bpred
+} // namespace ssmt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Branch target buffer: 4K-entry, 4-way, PC-tagged target store
+ * (Table 3). Caches the taken target of direct control flow so the
+ * front-end can redirect without waiting for decode.
+ */
+
+#ifndef SSMT_BPRED_BTB_HH
+#define SSMT_BPRED_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ssmt
+{
+namespace bpred
+{
+
+class Btb
+{
+  public:
+    explicit Btb(uint64_t num_entries = 4096, uint32_t assoc = 4);
+
+    /** @return cached target for @p pc, if present. Hits refresh
+     *  the entry's replacement age. */
+    std::optional<uint64_t> lookup(uint64_t pc);
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(uint64_t pc, uint64_t target);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries_;
+    uint64_t numSets_;
+    uint32_t assoc_;
+    uint64_t stamp_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t lookups_ = 0;
+};
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_BTB_HH

@@ -1,0 +1,113 @@
+#include "bpred/frontend_predictor.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+FrontEndPredictor::FrontEndPredictor(uint64_t component_entries,
+                                     uint64_t selector_entries,
+                                     uint64_t target_cache_entries,
+                                     uint32_t ras_depth)
+    : hybrid_(component_entries, selector_entries),
+      targetCache_(target_cache_entries), ras_(ras_depth)
+{
+}
+
+HwPrediction
+FrontEndPredictor::predictOnly(uint64_t pc, const isa::Inst &inst) const
+{
+    HwPrediction pred;
+    switch (inst.op) {
+      case isa::Opcode::J:
+      case isa::Opcode::Jal:
+        pred.taken = true;
+        pred.target = static_cast<uint64_t>(inst.imm);
+        break;
+      case isa::Opcode::Jr:
+        pred.taken = true;
+        pred.target = inst.rs1 == isa::kRegLink
+                          ? ras_.top()
+                          : targetCache_.predict(pc);
+        break;
+      case isa::Opcode::Jalr:
+        pred.taken = true;
+        pred.target = targetCache_.predict(pc);
+        break;
+      default:
+        SSMT_ASSERT(inst.isCondBranch(),
+                    "predictOnly on a non-control instruction");
+        pred.taken = hybrid_.predict(pc);
+        pred.target = static_cast<uint64_t>(inst.imm);
+        break;
+    }
+    return pred;
+}
+
+HwPrediction
+FrontEndPredictor::predictAndTrain(uint64_t pc, const isa::Inst &inst,
+                                   bool actual_taken,
+                                   uint64_t actual_target)
+{
+    HwPrediction pred;
+
+    switch (inst.op) {
+      case isa::Opcode::J:
+        // Direct target, always available at fetch: never mispredicts
+        // under the idealized front-end.
+        pred.taken = true;
+        pred.target = actual_target;
+        pred.correct = true;
+        break;
+
+      case isa::Opcode::Jal:
+        pred.taken = true;
+        pred.target = actual_target;
+        pred.correct = true;
+        ras_.push(pc + 1);
+        break;
+
+      case isa::Opcode::Jr:
+        pred.taken = true;
+        if (inst.rs1 == isa::kRegLink) {
+            pred.target = ras_.pop();
+        } else {
+            pred.target = targetCache_.predict(pc);
+            targetCache_.update(pc, actual_target);
+        }
+        pred.correct = pred.target == actual_target;
+        indPredictions_++;
+        if (!pred.correct)
+            indMispredicts_++;
+        break;
+
+      case isa::Opcode::Jalr:
+        pred.taken = true;
+        pred.target = targetCache_.predict(pc);
+        targetCache_.update(pc, actual_target);
+        pred.correct = pred.target == actual_target;
+        indPredictions_++;
+        if (!pred.correct)
+            indMispredicts_++;
+        ras_.push(pc + 1);
+        break;
+
+      default:
+        SSMT_ASSERT(inst.isCondBranch(),
+                    "predictAndTrain on a non-control instruction");
+        pred.taken = hybrid_.predict(pc);
+        pred.target = static_cast<uint64_t>(inst.imm);
+        pred.correct = pred.taken == actual_taken;
+        condPredictions_++;
+        if (!pred.correct)
+            condMispredicts_++;
+        hybrid_.update(pc, actual_taken);
+        break;
+    }
+    return pred;
+}
+
+} // namespace bpred
+} // namespace ssmt

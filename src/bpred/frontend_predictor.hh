@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Composite front-end branch predictor, wiring together the Table 3
+ * components: the gshare/PAs hybrid for conditional directions, the
+ * call/return stack for returns, and the target cache for other
+ * indirect branches.
+ *
+ * Direct targets are taken as always available at fetch, modelling
+ * the paper's idealized front-end ("in a sense, we are modeling a
+ * very efficient trace cache"); the BTB class is provided and tested
+ * but the idealized fetch path does not depend on it.
+ */
+
+#ifndef SSMT_BPRED_FRONTEND_PREDICTOR_HH
+#define SSMT_BPRED_FRONTEND_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "bpred/hybrid.hh"
+#include "bpred/ras.hh"
+#include "bpred/target_cache.hh"
+#include "isa/inst.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+/** What the hardware predictor said for one fetched branch. */
+struct HwPrediction
+{
+    bool taken = false;         ///< predicted direction
+    uint64_t target = 0;        ///< predicted destination if taken
+    bool correct = true;        ///< prediction matched the outcome
+};
+
+class FrontEndPredictor
+{
+  public:
+    FrontEndPredictor(uint64_t component_entries = 128 * 1024,
+                      uint64_t selector_entries = 64 * 1024,
+                      uint64_t target_cache_entries = 64 * 1024,
+                      uint32_t ras_depth = 32);
+
+    /**
+     * Predict the control-flow instruction at @p pc and immediately
+     * train with the actual outcome (execute-at-fetch model; see
+     * DESIGN.md section 4).
+     *
+     * @param pc            instruction index of the branch
+     * @param inst          the control-flow instruction
+     * @param actual_taken  architectural direction
+     * @param actual_target architectural destination when taken
+     */
+    HwPrediction predictAndTrain(uint64_t pc, const isa::Inst &inst,
+                                 bool actual_taken,
+                                 uint64_t actual_target);
+
+    /**
+     * Predict only, without training or stats (used to ask "what
+     * would the hardware have said" for coverage studies).
+     */
+    HwPrediction predictOnly(uint64_t pc, const isa::Inst &inst) const;
+
+    uint64_t condPredictions() const { return condPredictions_; }
+    uint64_t condMispredicts() const { return condMispredicts_; }
+    uint64_t indirectPredictions() const { return indPredictions_; }
+    uint64_t indirectMispredicts() const { return indMispredicts_; }
+
+    const Hybrid &hybrid() const { return hybrid_; }
+
+  private:
+    Hybrid hybrid_;
+    TargetCache targetCache_;
+    Ras ras_;
+
+    uint64_t condPredictions_ = 0;
+    uint64_t condMispredicts_ = 0;
+    uint64_t indPredictions_ = 0;
+    uint64_t indMispredicts_ = 0;
+};
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_FRONTEND_PREDICTOR_HH

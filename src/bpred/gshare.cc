@@ -1,0 +1,47 @@
+#include "bpred/gshare.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+Gshare::Gshare(uint64_t num_entries)
+    : pht_(num_entries), mask_(num_entries - 1)
+{
+    SSMT_ASSERT((num_entries & mask_) == 0,
+                "gshare PHT size must be a power of two");
+    historyBits_ = 0;
+    while ((1ull << historyBits_) < num_entries)
+        historyBits_++;
+}
+
+uint64_t
+Gshare::index(uint64_t pc) const
+{
+    return (pc ^ history_) & mask_;
+}
+
+bool
+Gshare::predict(uint64_t pc) const
+{
+    return pht_[index(pc)].predictTaken();
+}
+
+void
+Gshare::update(uint64_t pc, bool taken)
+{
+    pht_[index(pc)].update(taken);
+    pushHistory(taken);
+}
+
+void
+Gshare::pushHistory(bool taken)
+{
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               ((1ull << historyBits_) - 1);
+}
+
+} // namespace bpred
+} // namespace ssmt

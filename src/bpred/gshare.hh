@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gshare global-history branch direction predictor (McFarling).
+ *
+ * One half of the paper's Table 3 "128K-entry gshare/PAs hybrid".
+ */
+
+#ifndef SSMT_BPRED_GSHARE_HH
+#define SSMT_BPRED_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/sat_counter.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+class Gshare
+{
+  public:
+    /**
+     * @param num_entries PHT size; must be a power of two.
+     */
+    explicit Gshare(uint64_t num_entries = 128 * 1024);
+
+    /** Predict direction for the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /** Train the indexed counter and shift @p taken into history. */
+    void update(uint64_t pc, bool taken);
+
+    /** Shift an outcome into the global history without training
+     *  (used for unconditional taken control flow, if desired). */
+    void pushHistory(bool taken);
+
+    uint64_t history() const { return history_; }
+    uint64_t numEntries() const { return pht_.size(); }
+
+  private:
+    std::vector<Counter2> pht_;
+    uint64_t mask_;
+    uint64_t history_ = 0;
+    int historyBits_;
+
+    uint64_t index(uint64_t pc) const;
+};
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_GSHARE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gshare/PAs hybrid with a selector table (the Table 3 direction
+ * predictor: 128K-entry components, 64K-entry selector).
+ */
+
+#ifndef SSMT_BPRED_HYBRID_HH
+#define SSMT_BPRED_HYBRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/gshare.hh"
+#include "bpred/pas.hh"
+#include "bpred/sat_counter.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+class Hybrid
+{
+  public:
+    Hybrid(uint64_t component_entries = 128 * 1024,
+           uint64_t selector_entries = 64 * 1024);
+
+    /** Predict direction for the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /**
+     * Train both components and the selector with the actual
+     * @p taken outcome. The selector moves towards the component
+     * that was correct when exactly one of them was.
+     */
+    void update(uint64_t pc, bool taken);
+
+    const Gshare &gshare() const { return gshare_; }
+    const Pas &pas() const { return pas_; }
+
+    uint64_t predictions() const { return predictions_; }
+    uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Misprediction rate over all update() calls so far. */
+    double
+    mispredictRate() const
+    {
+        return predictions_ == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictions_) /
+                         static_cast<double>(predictions_);
+    }
+
+  private:
+    Gshare gshare_;
+    Pas pas_;
+    std::vector<Counter2> selector_;
+    uint64_t selectorMask_;
+    uint64_t predictions_ = 0;
+    uint64_t mispredictions_ = 0;
+
+    uint64_t selectorIndex(uint64_t pc) const;
+};
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_HYBRID_HH

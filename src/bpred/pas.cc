@@ -1,0 +1,52 @@
+#include "bpred/pas.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+Pas::Pas(uint64_t num_bht_entries, int history_bits,
+         uint64_t num_pht_entries)
+    : bht_(num_bht_entries, 0), pht_(num_pht_entries),
+      bhtMask_(num_bht_entries - 1), phtMask_(num_pht_entries - 1),
+      historyBits_(history_bits)
+{
+    SSMT_ASSERT((num_bht_entries & bhtMask_) == 0 &&
+                (num_pht_entries & phtMask_) == 0,
+                "PAs table sizes must be powers of two");
+}
+
+uint64_t
+Pas::phtIndex(uint64_t pc) const
+{
+    uint64_t hist = bht_[pc & bhtMask_];
+    // Concatenate local history with low pc bits to reduce aliasing
+    // between branches sharing a history pattern.
+    return ((hist << 5) ^ pc) & phtMask_;
+}
+
+bool
+Pas::predict(uint64_t pc) const
+{
+    return pht_[phtIndex(pc)].predictTaken();
+}
+
+void
+Pas::update(uint64_t pc, bool taken)
+{
+    pht_[phtIndex(pc)].update(taken);
+    uint64_t &hist = bht_[pc & bhtMask_];
+    hist = ((hist << 1) | (taken ? 1 : 0)) &
+           ((1ull << historyBits_) - 1);
+}
+
+uint64_t
+Pas::localHistory(uint64_t pc) const
+{
+    return bht_[pc & bhtMask_];
+}
+
+} // namespace bpred
+} // namespace ssmt

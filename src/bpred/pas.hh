@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PAs per-address two-level branch direction predictor (Yeh & Patt).
+ *
+ * A first-level table of per-branch local histories selects a counter
+ * in a second-level pattern history table. The other half of the
+ * Table 3 "128K-entry gshare/PAs hybrid".
+ */
+
+#ifndef SSMT_BPRED_PAS_HH
+#define SSMT_BPRED_PAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/sat_counter.hh"
+
+namespace ssmt
+{
+namespace bpred
+{
+
+class Pas
+{
+  public:
+    /**
+     * @param num_bht_entries first-level (history) table entries
+     * @param history_bits    local history length
+     * @param num_pht_entries second-level counter table entries
+     */
+    Pas(uint64_t num_bht_entries = 4096, int history_bits = 12,
+        uint64_t num_pht_entries = 128 * 1024);
+
+    /** Predict direction for the branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /** Train the counter and shift @p taken into the local history. */
+    void update(uint64_t pc, bool taken);
+
+    /** @return the local history of @p pc (for tests). */
+    uint64_t localHistory(uint64_t pc) const;
+
+  private:
+    std::vector<uint64_t> bht_;
+    std::vector<Counter2> pht_;
+    uint64_t bhtMask_;
+    uint64_t phtMask_;
+    int historyBits_;
+
+    uint64_t phtIndex(uint64_t pc) const;
+};
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_PAS_HH

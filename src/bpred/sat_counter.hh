@@ -1,0 +1,63 @@
+/**
+ * @file
+ * N-bit saturating counter used throughout the predictors.
+ */
+
+#ifndef SSMT_BPRED_SAT_COUNTER_HH
+#define SSMT_BPRED_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace ssmt
+{
+namespace bpred
+{
+
+/** A saturating counter with a compile-time bit width. */
+template <int Bits>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 8, "unreasonable counter width");
+
+  public:
+    static constexpr uint8_t kMax = (1 << Bits) - 1;
+    static constexpr uint8_t kWeaklyTaken = 1 << (Bits - 1);
+
+    SatCounter() = default;
+    explicit SatCounter(uint8_t init) : value_(init) {}
+
+    void
+    increment()
+    {
+        if (value_ < kMax)
+            value_++;
+    }
+
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            value_--;
+    }
+
+    /** Train towards @p taken. */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    bool predictTaken() const { return value_ >= kWeaklyTaken; }
+    uint8_t value() const { return value_; }
+    bool saturated() const { return value_ == kMax || value_ == 0; }
+
+  private:
+    uint8_t value_ = kWeaklyTaken;  // initialize weakly taken
+};
+
+using Counter2 = SatCounter<2>;
+
+} // namespace bpred
+} // namespace ssmt
+
+#endif // SSMT_BPRED_SAT_COUNTER_HH

@@ -1,0 +1,108 @@
+#include "core/microram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+const std::vector<PathId> MicroRam::kEmpty;
+
+MicroRam::MicroRam(uint32_t capacity) : capacity_(capacity)
+{
+    SSMT_ASSERT(capacity > 0, "MicroRAM capacity must be positive");
+}
+
+bool
+MicroRam::insert(MicroThread thread)
+{
+    auto it = routines_.find(thread.pathId);
+    if (it != routines_.end()) {
+        // Rebuild: replace in place (Section 4.2.4). Instances of
+        // the old routine keep their shared handle until they drain.
+        unindex(*it->second);
+        spawnIndex_[thread.spawnPc].push_back(thread.pathId);
+        it->second =
+            std::make_shared<const MicroThread>(std::move(thread));
+        insertions_++;
+        return true;
+    }
+    if (routines_.size() >= capacity_) {
+        rejectedFull_++;
+        return false;
+    }
+    spawnIndex_[thread.spawnPc].push_back(thread.pathId);
+    PathId id = thread.pathId;
+    routines_.emplace(
+        id, std::make_shared<const MicroThread>(std::move(thread)));
+    insertions_++;
+    return true;
+}
+
+const MicroThread *
+MicroRam::find(PathId id) const
+{
+    auto it = routines_.find(id);
+    return it == routines_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const MicroThread>
+MicroRam::findShared(PathId id) const
+{
+    auto it = routines_.find(id);
+    return it == routines_.end() ? nullptr : it->second;
+}
+
+void
+MicroRam::remove(PathId id)
+{
+    auto it = routines_.find(id);
+    if (it == routines_.end())
+        return;
+    unindex(*it->second);
+    routines_.erase(it);
+    removals_++;
+}
+
+const std::vector<PathId> &
+MicroRam::routinesAt(uint64_t pc) const
+{
+    auto it = spawnIndex_.find(pc);
+    return it == spawnIndex_.end() ? kEmpty : it->second;
+}
+
+std::vector<PathId>
+MicroRam::ids() const
+{
+    std::vector<PathId> out;
+    out.reserve(routines_.size());
+    for (const auto &[id, thread] : routines_)
+        out.push_back(id);
+    return out;
+}
+
+void
+MicroRam::unindex(const MicroThread &thread)
+{
+    auto idx = spawnIndex_.find(thread.spawnPc);
+    if (idx == spawnIndex_.end())
+        return;
+    auto &vec = idx->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), thread.pathId),
+              vec.end());
+    if (vec.empty())
+        spawnIndex_.erase(idx);
+}
+
+void
+MicroRam::clear()
+{
+    routines_.clear();
+    spawnIndex_.clear();
+}
+
+} // namespace core
+} // namespace ssmt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The MicroRAM (paper Sections 4.3.1 and 5.2): on-chip storage for
+ * microthread routines. Its capacity bounds the number of
+ * concurrently promoted paths (8K in the paper's experiments).
+ *
+ * Alongside routine storage this class keeps the spawn index the
+ * front-end consults: spawn-point pc -> the routines to attempt.
+ */
+
+#ifndef SSMT_CORE_MICRORAM_HH
+#define SSMT_CORE_MICRORAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/microthread.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+class MicroRam
+{
+  public:
+    explicit MicroRam(uint32_t capacity = 8192);
+
+    /**
+     * Install @p thread. Replaces any routine already stored for the
+     * same path (rebuilds). @return false if the MicroRAM is full,
+     * in which case the promotion request fails and the Path Cache
+     * keeps re-requesting.
+     */
+    bool insert(MicroThread thread);
+
+    /** @return the routine for @p id, or nullptr. */
+    const MicroThread *find(PathId id) const;
+
+    /**
+     * Shared handle to the routine for @p id (empty if absent).
+     * Spawned microcontexts hold this so a routine being demoted or
+     * rebuilt mid-flight stays alive until its instances drain.
+     */
+    std::shared_ptr<const MicroThread> findShared(PathId id) const;
+
+    bool contains(PathId id) const { return find(id) != nullptr; }
+
+    /** Remove the routine for @p id (demotion). No-op if absent. */
+    void remove(PathId id);
+
+    /** Routines whose spawn point is @p pc (possibly empty). */
+    const std::vector<PathId> &routinesAt(uint64_t pc) const;
+
+    /** All stored path ids (diagnostics/examples). */
+    std::vector<PathId> ids() const;
+
+    uint32_t size() const
+    {
+        return static_cast<uint32_t>(routines_.size());
+    }
+
+    uint32_t capacity() const { return capacity_; }
+
+    uint64_t insertions() const { return insertions_; }
+    uint64_t rejectedFull() const { return rejectedFull_; }
+    uint64_t removals() const { return removals_; }
+
+    void clear();
+
+  private:
+    uint32_t capacity_;
+    std::unordered_map<PathId, std::shared_ptr<const MicroThread>>
+        routines_;
+    std::unordered_map<uint64_t, std::vector<PathId>> spawnIndex_;
+    uint64_t insertions_ = 0;
+    uint64_t rejectedFull_ = 0;
+    uint64_t removals_ = 0;
+
+    static const std::vector<PathId> kEmpty;
+
+    void unindex(const MicroThread &thread);
+};
+
+} // namespace core
+} // namespace ssmt
+
+#endif // SSMT_CORE_MICRORAM_HH

@@ -1,0 +1,171 @@
+#include "core/path_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+PathCache::PathCache(uint32_t num_entries, uint32_t assoc,
+                     uint32_t training_interval, double threshold)
+    : entries_(num_entries), assoc_(assoc),
+      trainingInterval_(training_interval), threshold_(threshold)
+{
+    SSMT_ASSERT(num_entries % assoc == 0,
+                "path cache entries must divide by associativity");
+    numSets_ = num_entries / assoc;
+    SSMT_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+                "path cache set count must be a power of two");
+    SSMT_ASSERT(training_interval > 0, "training interval must be > 0");
+}
+
+PathCache::Entry *
+PathCache::find(PathId id)
+{
+    uint32_t set = static_cast<uint32_t>(id) & (numSets_ - 1);
+    Entry *base = &entries_[static_cast<size_t>(set) * assoc_];
+    for (uint32_t way = 0; way < assoc_; way++)
+        if (base[way].valid && base[way].id == id)
+            return &base[way];
+    return nullptr;
+}
+
+const PathCache::Entry *
+PathCache::find(PathId id) const
+{
+    return const_cast<PathCache *>(this)->find(id);
+}
+
+PathCache::Entry *
+PathCache::allocate(PathId id)
+{
+    uint32_t set = static_cast<uint32_t>(id) & (numSets_ - 1);
+    Entry *base = &entries_[static_cast<size_t>(set) * assoc_];
+
+    // Prefer an invalid way; otherwise modified LRU that favors
+    // keeping Difficult entries: victimize the LRU non-difficult
+    // entry if one exists, else the overall LRU entry.
+    Entry *victim = nullptr;
+    Entry *lru_any = nullptr;
+    Entry *lru_easy = nullptr;
+    for (uint32_t way = 0; way < assoc_; way++) {
+        Entry &entry = base[way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!lru_any || entry.lastUse < lru_any->lastUse)
+            lru_any = &entry;
+        if (!entry.difficult &&
+            (!lru_easy || entry.lastUse < lru_easy->lastUse)) {
+            lru_easy = &entry;
+        }
+    }
+    if (!victim) {
+        victim = lru_easy ? lru_easy : lru_any;
+        evictions_++;
+        if (victim->difficult)
+            difficultEvictions_++;
+        if (victim->promoted)
+            evictedPromotions_.push_back(victim->id);
+    }
+    allocations_++;
+    *victim = Entry{};
+    victim->valid = true;
+    victim->id = id;
+    return victim;
+}
+
+PathEvent
+PathCache::update(PathId id, bool hw_mispredict)
+{
+    updates_++;
+    Entry *entry = find(id);
+    if (!entry) {
+        // Allocate only on a hardware misprediction (Section 4.1).
+        if (!hw_mispredict) {
+            allocationsSkipped_++;
+            return PathEvent::None;
+        }
+        entry = allocate(id);
+    }
+
+    entry->lastUse = ++stamp_;
+    entry->occurrences++;
+    if (hw_mispredict)
+        entry->mispredicts++;
+
+    PathEvent event = PathEvent::None;
+    if (entry->occurrences >= trainingInterval_) {
+        double rate = static_cast<double>(entry->mispredicts) /
+                      static_cast<double>(entry->occurrences);
+        bool difficult = rate > threshold_;
+        entry->occurrences = 0;
+        entry->mispredicts = 0;
+        entry->difficult = difficult;
+        if (difficult && !entry->promoted)
+            event = PathEvent::RequestPromote;
+        else if (!difficult && entry->promoted)
+            event = PathEvent::Demote;
+    } else if (entry->difficult && !entry->promoted) {
+        // Re-request each update until a builder accepts (the paper's
+        // promotion logic examines the bits on every entry update).
+        event = PathEvent::RequestPromote;
+    }
+    return event;
+}
+
+bool
+PathCache::isDifficult(PathId id) const
+{
+    const Entry *entry = find(id);
+    return entry && entry->difficult;
+}
+
+bool
+PathCache::isPromoted(PathId id) const
+{
+    const Entry *entry = find(id);
+    return entry && entry->promoted;
+}
+
+void
+PathCache::setPromoted(PathId id, bool promoted)
+{
+    Entry *entry = find(id);
+    if (entry)
+        entry->promoted = promoted;
+}
+
+uint32_t
+PathCache::difficultCount() const
+{
+    uint32_t count = 0;
+    for (const Entry &entry : entries_)
+        if (entry.valid && entry.difficult)
+            count++;
+    return count;
+}
+
+std::vector<PathId>
+PathCache::takeEvictedPromotions()
+{
+    std::vector<PathId> out;
+    out.swap(evictedPromotions_);
+    return out;
+}
+
+void
+PathCache::reset()
+{
+    for (Entry &entry : entries_)
+        entry = Entry{};
+    stamp_ = 0;
+    updates_ = allocations_ = allocationsSkipped_ = 0;
+    evictions_ = difficultEvictions_ = 0;
+    evictedPromotions_.clear();
+}
+
+} // namespace core
+} // namespace ssmt

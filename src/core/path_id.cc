@@ -1,0 +1,18 @@
+#include "core/path_id.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+PathId
+hashPath(std::span<const uint64_t> taken_branch_addrs)
+{
+    PathId h = 0;
+    for (uint64_t addr : taken_branch_addrs)
+        h = hashStep(h, addr);
+    return h;
+}
+
+} // namespace core
+} // namespace ssmt

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Path_Id: the shift-XOR hash over the addresses of the n taken
+ * branches preceding a terminating branch (paper Section 3).
+ */
+
+#ifndef SSMT_CORE_PATH_ID_HH
+#define SSMT_CORE_PATH_ID_HH
+
+#include <cstdint>
+#include <span>
+
+namespace ssmt
+{
+namespace core
+{
+
+/** A hashed path identifier. */
+using PathId = uint64_t;
+
+/**
+ * Hash a sequence of taken-branch byte addresses, oldest first, into
+ * a Path_Id. The rotate-XOR keeps order significant (path ABC must
+ * differ from path CBA) while being trivially computable by a
+ * front-end shifter, as the paper assumes.
+ */
+PathId hashPath(std::span<const uint64_t> taken_branch_addrs);
+
+/** Single incremental hash step: fold @p addr into @p h. */
+constexpr PathId
+hashStep(PathId h, uint64_t addr)
+{
+    return ((h << 7) | (h >> 57)) ^ addr;
+}
+
+} // namespace core
+} // namespace ssmt
+
+#endif // SSMT_CORE_PATH_ID_HH

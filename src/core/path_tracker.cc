@@ -1,0 +1,62 @@
+#include "core/path_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+PathTracker::PathTracker(int depth) : ring_(depth, 0), depth_(depth)
+{
+    SSMT_ASSERT(depth > 0, "path tracker depth must be positive");
+}
+
+void
+PathTracker::push(uint64_t addr)
+{
+    ring_[head_] = addr;
+    head_ = (head_ + 1) % depth_;
+    pushes_++;
+}
+
+PathId
+PathTracker::pathId(int n) const
+{
+    SSMT_ASSERT(n <= depth_, "pathId(n) beyond tracker depth");
+    int have = size();
+    int use = n < have ? n : have;
+    PathId h = 0;
+    // Oldest-first over the last `use` entries.
+    for (int k = use - 1; k >= 0; k--)
+        h = hashStep(h, recent(k));
+    return h;
+}
+
+uint64_t
+PathTracker::recent(int k) const
+{
+    if (k >= size())
+        return 0;
+    int idx = (head_ + depth_ - 1 - k) % depth_;
+    return ring_[idx];
+}
+
+int
+PathTracker::size() const
+{
+    return pushes_ < static_cast<uint64_t>(depth_)
+               ? static_cast<int>(pushes_)
+               : depth_;
+}
+
+void
+PathTracker::reset()
+{
+    std::fill(ring_.begin(), ring_.end(), 0);
+    head_ = 0;
+    pushes_ = 0;
+}
+
+} // namespace core
+} // namespace ssmt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Front-end path history: the last K taken-branch addresses, from
+ * which Path_Id values for any n <= K are derived. The paper assumes
+ * "the front-end can trivially generate our Path_Id hash and
+ * associate the current value to each branch instruction as it is
+ * fetched" (Section 4.1); this class is that hardware.
+ */
+
+#ifndef SSMT_CORE_PATH_TRACKER_HH
+#define SSMT_CORE_PATH_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path_id.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+class PathTracker
+{
+  public:
+    /** @param depth maximum n supported (paper uses up to 16). */
+    explicit PathTracker(int depth = 16);
+
+    /** Record a taken control-flow change at byte address @p addr. */
+    void push(uint64_t addr);
+
+    /**
+     * Path_Id over the last @p n taken branches. If fewer than @p n
+     * have occurred, hashes what exists (program warm-up).
+     */
+    PathId pathId(int n) const;
+
+    /**
+     * The @p k-th most recent taken-branch address (k=0 is the most
+     * recent). @return 0 if history is shorter than that.
+     */
+    uint64_t recent(int k) const;
+
+    /** Number of taken branches seen so far (saturating at depth). */
+    int size() const;
+
+    uint64_t totalPushes() const { return pushes_; }
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> ring_;
+    int depth_;
+    int head_ = 0;      ///< next slot to write
+    uint64_t pushes_ = 0;
+};
+
+} // namespace core
+} // namespace ssmt
+
+#endif // SSMT_CORE_PATH_TRACKER_HH

@@ -1,0 +1,42 @@
+#include "core/prb.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+Prb::Prb(uint32_t capacity) : ring_(capacity)
+{
+    SSMT_ASSERT(capacity > 0, "PRB capacity must be positive");
+}
+
+void
+Prb::push(const PrbEntry &entry)
+{
+    ring_[head_] = entry;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size())
+        size_++;
+}
+
+const PrbEntry &
+Prb::at(uint32_t pos) const
+{
+    SSMT_ASSERT(pos < size_, "PRB position out of range");
+    uint32_t idx =
+        (head_ + static_cast<uint32_t>(ring_.size()) - size_ + pos) %
+        ring_.size();
+    return ring_[idx];
+}
+
+void
+Prb::clear()
+{
+    head_ = 0;
+    size_ = 0;
+}
+
+} // namespace core
+} // namespace ssmt

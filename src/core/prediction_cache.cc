@@ -1,0 +1,102 @@
+#include "core/prediction_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+PredictionCache::PredictionCache(uint32_t num_entries)
+    : entries_(num_entries)
+{
+    SSMT_ASSERT(num_entries > 0, "prediction cache must have entries");
+}
+
+PredEntry *
+PredictionCache::findSlot(PathId id, uint64_t seq_num)
+{
+    for (PredEntry &entry : entries_)
+        if (entry.valid && entry.pathId == id &&
+            entry.seqNum == seq_num)
+            return &entry;
+    return nullptr;
+}
+
+void
+PredictionCache::write(PathId id, uint64_t seq_num, bool taken,
+                       uint64_t target, uint64_t cycle)
+{
+    writes_++;
+    PredEntry *slot = findSlot(id, seq_num);
+    if (slot) {
+        overwrites_++;
+    } else {
+        // Prefer an invalid slot; otherwise evict the entry with the
+        // oldest Seq_Num (the most likely to already be stale).
+        PredEntry *oldest = &entries_[0];
+        for (PredEntry &entry : entries_) {
+            if (!entry.valid) {
+                slot = &entry;
+                break;
+            }
+            if (entry.seqNum < oldest->seqNum)
+                oldest = &entry;
+        }
+        if (!slot) {
+            slot = oldest;
+            evictions_++;
+        }
+    }
+    slot->valid = true;
+    slot->pathId = id;
+    slot->seqNum = seq_num;
+    slot->taken = taken;
+    slot->target = target;
+    slot->writeCycle = cycle;
+    slot->consumed = false;
+}
+
+const PredEntry *
+PredictionCache::lookup(PathId id, uint64_t seq_num) const
+{
+    lookups_++;
+    for (const PredEntry &entry : entries_) {
+        if (entry.valid && entry.pathId == id &&
+            entry.seqNum == seq_num) {
+            lookupHits_++;
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+PredictionCache::markConsumed(PathId id, uint64_t seq_num)
+{
+    PredEntry *slot = findSlot(id, seq_num);
+    if (slot)
+        slot->consumed = true;
+}
+
+void
+PredictionCache::reclaimOlderThan(uint64_t seq_num)
+{
+    for (PredEntry &entry : entries_) {
+        if (entry.valid && entry.seqNum < seq_num) {
+            if (!entry.consumed)
+                reclaimedUnconsumed_++;
+            entry.valid = false;
+        }
+    }
+}
+
+void
+PredictionCache::clear()
+{
+    for (PredEntry &entry : entries_)
+        entry = PredEntry{};
+}
+
+} // namespace core
+} // namespace ssmt

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Prediction Cache (paper Section 4.3.3): the small structure
+ * through which microthreads communicate branch outcomes to the
+ * front-end.
+ *
+ * Entries are keyed by the (Path_Id, Seq_Num) pair, which names a
+ * particular dynamic instance of a branch on a particular path, so
+ * microthread predictions written by Store_PCache naturally match up
+ * with the branches intended to consume them and "aliasing is almost
+ * non-existent". Stale entries are reclaimed by comparing Seq_Num
+ * against the front-end's position, which is what lets the structure
+ * stay tiny (128 entries).
+ */
+
+#ifndef SSMT_CORE_PREDICTION_CACHE_HH
+#define SSMT_CORE_PREDICTION_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path_id.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+struct PredEntry
+{
+    bool valid = false;
+    PathId pathId = 0;
+    uint64_t seqNum = 0;        ///< dynamic instance being predicted
+    bool taken = false;
+    uint64_t target = 0;
+    uint64_t writeCycle = 0;    ///< when the prediction became usable
+    bool consumed = false;      ///< a fetched branch read it
+};
+
+class PredictionCache
+{
+  public:
+    explicit PredictionCache(uint32_t num_entries = 128);
+
+    /**
+     * Deposit a microthread prediction (Store_PCache execution).
+     * Overwrites an existing entry with the same key.
+     */
+    void write(PathId id, uint64_t seq_num, bool taken,
+               uint64_t target, uint64_t cycle);
+
+    /** Front-end probe at branch fetch. @return entry or nullptr. */
+    const PredEntry *lookup(PathId id, uint64_t seq_num) const;
+
+    /** Mark an entry as consumed by a fetched branch. */
+    void markConsumed(PathId id, uint64_t seq_num);
+
+    /**
+     * Reclaim entries whose Seq_Num is older than the front-end
+     * position @p seq_num. Entries reclaimed without ever being
+     * consumed are counted (predictions for branches never reached).
+     */
+    void reclaimOlderThan(uint64_t seq_num);
+
+    uint64_t writes() const { return writes_; }
+    uint64_t overwrites() const { return overwrites_; }
+    uint64_t lookupHits() const { return lookupHits_; }
+    uint64_t lookups() const { return lookups_; }
+    uint64_t reclaimedUnconsumed() const { return reclaimedUnconsumed_; }
+    uint64_t evictions() const { return evictions_; }
+
+    uint32_t
+    occupancy() const
+    {
+        uint32_t n = 0;
+        for (const PredEntry &entry : entries_)
+            if (entry.valid)
+                n++;
+        return n;
+    }
+
+    void clear();
+
+  private:
+    std::vector<PredEntry> entries_;
+    mutable uint64_t lookups_ = 0;
+    mutable uint64_t lookupHits_ = 0;
+    uint64_t writes_ = 0;
+    uint64_t overwrites_ = 0;
+    uint64_t reclaimedUnconsumed_ = 0;
+    uint64_t evictions_ = 0;
+
+    PredEntry *findSlot(PathId id, uint64_t seq_num);
+};
+
+} // namespace core
+} // namespace ssmt
+
+#endif // SSMT_CORE_PREDICTION_CACHE_HH

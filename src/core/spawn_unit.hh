@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spawn-time path checking and the in-flight abort mechanism
+ * (paper Section 4.3.2).
+ *
+ * A microthread is only useful while the primary thread stays on the
+ * difficult path it was built for. Two checks enforce this:
+ *
+ *  1. prefixMatches(): at a spawn attempt, the portion of the path
+ *     that precedes the spawn point is compared against the
+ *     front-end's recent taken-branch history. A mismatch aborts the
+ *     spawn *before* a microcontext is allocated (the paper reports
+ *     67% of attempts abort here).
+ *
+ *  2. PathMatcher: after allocation, every fetched control-flow
+ *     change is matched against the path's remaining expected taken
+ *     branches; any deviation aborts the microthread and reclaims
+ *     its microcontext (66% of successful spawns abort this way).
+ */
+
+#ifndef SSMT_CORE_SPAWN_UNIT_HH
+#define SSMT_CORE_SPAWN_UNIT_HH
+
+#include <cstdint>
+
+#include "core/microthread.hh"
+#include "core/path_tracker.hh"
+
+namespace ssmt
+{
+namespace core
+{
+
+/**
+ * Check the pre-spawn portion of @p thread's path against the
+ * front-end history in @p tracker. The prefix holds the path's taken
+ * branches older than the spawn point, oldest first; they must be
+ * exactly the most recent taken branches observed.
+ */
+bool prefixMatches(const MicroThread &thread, const PathTracker &tracker);
+
+class PathMatcher
+{
+  public:
+    enum class Status : uint8_t
+    {
+        Live,       ///< still on the path
+        Complete,   ///< all expected taken branches matched
+        Deviated    ///< left the path; abort the microthread
+    };
+
+    explicit PathMatcher(const MicroThread *thread);
+
+    /**
+     * Feed one fetched control-flow event from the primary thread.
+     * @return the matcher status after the event.
+     */
+    Status onControlFlow(uint64_t pc, bool taken, uint64_t target);
+
+    Status status() const { return status_; }
+    size_t matched() const { return index_; }
+
+  private:
+    const MicroThread *thread_;
+    size_t index_ = 0;
+    Status status_;
+};
+
+} // namespace core
+} // namespace ssmt
+
+#endif // SSMT_CORE_SPAWN_UNIT_HH

@@ -1,0 +1,39 @@
+#include "cpu/fu_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace cpu
+{
+
+FuPool::FuPool(int num_fus, uint32_t horizon)
+    : numFus_(num_fus), used_(horizon, 0), slotCycle_(horizon, ~0ull),
+      mask_(horizon - 1)
+{
+    SSMT_ASSERT((horizon & mask_) == 0,
+                "FU horizon must be a power of two");
+    SSMT_ASSERT(num_fus > 0, "need at least one FU");
+}
+
+uint64_t
+FuPool::schedule(uint64_t earliest)
+{
+    uint64_t cycle = earliest;
+    for (;;) {
+        uint32_t slot = static_cast<uint32_t>(cycle) & mask_;
+        if (slotCycle_[slot] != cycle) {
+            slotCycle_[slot] = cycle;
+            used_[slot] = 0;
+        }
+        if (used_[slot] < numFus_) {
+            used_[slot]++;
+            granted_++;
+            return cycle;
+        }
+        cycle++;
+    }
+}
+
+} // namespace cpu
+} // namespace ssmt

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared functional-unit pool: 16 all-purpose, fully-pipelined units
+ * (Table 3). Issue slots are tracked per future cycle so primary and
+ * microthread instructions contend for the same hardware.
+ */
+
+#ifndef SSMT_CPU_FU_POOL_HH
+#define SSMT_CPU_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ssmt
+{
+namespace cpu
+{
+
+class FuPool
+{
+  public:
+    /**
+     * @param num_fus issue slots per cycle
+     * @param horizon how far into the future slots are tracked; must
+     *                exceed any reachable scheduling distance (the
+     *                window bounds it in practice)
+     */
+    explicit FuPool(int num_fus = 16, uint32_t horizon = 1 << 17);
+
+    /**
+     * Claim the first issue slot at or after @p earliest.
+     * @return the cycle the slot was granted.
+     */
+    uint64_t schedule(uint64_t earliest);
+
+    int numFus() const { return numFus_; }
+    uint64_t slotsGranted() const { return granted_; }
+
+  private:
+    int numFus_;
+    std::vector<uint16_t> used_;
+    std::vector<uint64_t> slotCycle_;
+    uint32_t mask_;
+    uint64_t granted_ = 0;
+};
+
+} // namespace cpu
+} // namespace ssmt
+
+#endif // SSMT_CPU_FU_POOL_HH

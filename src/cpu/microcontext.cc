@@ -1,0 +1,5 @@
+#include "cpu/microcontext.hh"
+
+// Microcontext is a plain state bundle; its behaviour lives in
+// SsmtCore::dispatchMicrothreads(). This translation unit exists so
+// the header has a home in the library and stays self-contained.

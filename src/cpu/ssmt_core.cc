@@ -1,0 +1,797 @@
+#include "cpu/ssmt_core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace cpu
+{
+
+namespace
+{
+
+uint64_t
+pathAddr(uint64_t pc)
+{
+    return pc * isa::kInstBytes;
+}
+
+} // namespace
+
+SsmtCore::SsmtCore(const isa::Program &prog,
+                   const sim::MachineConfig &config)
+    : prog_(prog), cfg_(config), hier_(config.mem),
+      fep_(config.bpredComponentEntries, config.bpredSelectorEntries,
+           config.targetCacheEntries, config.rasDepth),
+      vpred_(config.vpredEntries, config.vpredConfMax,
+             config.vpredConfThresh),
+      apred_(config.vpredEntries, config.vpredConfMax,
+             config.vpredConfThresh),
+      tracker_(16),
+      pathCache_(config.pathCacheEntries, config.pathCacheAssoc,
+                 config.trainingInterval, config.difficultyThreshold),
+      prb_(config.prbEntries), builder_(config.builder),
+      microRam_(config.microRamEntries),
+      pcache_(config.predictionCacheEntries), fu_(config.numFUs),
+      l1dPorts_(config.l1dReadPorts), trace_(config.traceCapacity),
+      contexts_(config.numMicrocontexts)
+{
+    SSMT_ASSERT(prog.size() > 0, "cannot simulate an empty program");
+    SSMT_ASSERT(config.pathN >= 1 && config.pathN <= 16,
+                "path n must be in [1,16]");
+    prog_.loadData(mem_);
+    fetchPc_ = prog_.entry();
+    staticHints_.insert(config.staticDifficultHints.begin(),
+                        config.staticDifficultHints.end());
+}
+
+bool
+SsmtCore::predMatches(bool pred_taken, uint64_t pred_target,
+                      bool actual_taken, uint64_t actual_target)
+{
+    if (pred_taken != actual_taken)
+        return false;
+    return !actual_taken || pred_target == actual_target;
+}
+
+bool
+SsmtCore::done() const
+{
+    return halted_ && rob_.empty();
+}
+
+const sim::Stats &
+SsmtCore::run()
+{
+    while (!done() && cycle_ < cfg_.maxCycles &&
+           stats_.retiredInsts < cfg_.maxInsts) {
+        tick();
+    }
+    finalizeStats();
+    return stats_;
+}
+
+void
+SsmtCore::tick()
+{
+    cycle_++;
+    processMicroEvents();
+    maybeFinishBuild();
+    retire();
+    int fetched = fetch();
+    if (microthreadsActive())
+        dispatchMicrothreads(cfg_.fetchWidth - fetched);
+    if (fetched == 0 && !halted_)
+        stats_.fetchBubbleCycles++;
+    stats_.cycles = cycle_;
+}
+
+// ---------------------------------------------------------------------
+// Fetch: up to fetchWidth correct-path instructions per cycle, bounded
+// by branch-prediction and I-cache bandwidth. Execute-at-fetch.
+// ---------------------------------------------------------------------
+
+int
+SsmtCore::fetch()
+{
+    if (halted_ || cycle_ < fetchResumeCycle_)
+        return 0;
+
+    int fetched = 0;
+    int branches = 0;
+    int lines = 0;
+    uint64_t cur_line = ~0ull;
+
+    while (fetched < cfg_.fetchWidth) {
+        if (windowOccupancy() >=
+            static_cast<uint64_t>(cfg_.windowSize)) {
+            break;
+        }
+        SSMT_ASSERT(fetchPc_ < prog_.size(), "fetch pc out of range");
+        const isa::Inst &inst = prog_.inst(fetchPc_);
+
+        // I-cache bandwidth and misses.
+        uint64_t line = pathAddr(fetchPc_) / cfg_.mem.lineBytes;
+        if (line != cur_line) {
+            if (lines >= cfg_.maxICacheLinesPerCycle)
+                break;
+            int lat = hier_.fetch(pathAddr(fetchPc_));
+            lines++;
+            cur_line = line;
+            if (lat > cfg_.mem.l1Latency) {
+                // Miss: the line is filling; fetch resumes when it
+                // arrives.
+                fetchResumeCycle_ = cycle_ + lat;
+                break;
+            }
+        }
+
+        if (inst.isControl() && branches >= cfg_.maxBranchPredsPerCycle)
+            break;
+
+        uint64_t pc = fetchPc_;
+        uint64_t seq = nextSeq_++;
+
+        // Spawn attempts fire when a spawn-point pc is fetched, with
+        // the architectural state as of all older instructions.
+        if (microthreadsActive())
+            attemptSpawns(pc, seq);
+
+        // Functional execution (execute-at-fetch).
+        isa::StepResult res = isa::step(inst, pc, regs_, mem_);
+
+        // Value/address predictor training. The paper trains at
+        // retirement and reconciles the in-flight instance distance
+        // at query time (Section 4.2.5); training at fetch and
+        // anchoring queries at the spawn point is the equivalent,
+        // exactly-reconciled formulation in an execute-at-fetch
+        // model (DESIGN.md Section 4).
+        if (microthreadsActive()) {
+            if (res.regWrite)
+                vpred_.train(pc, res.value);
+            if (res.isLoad)
+                apred_.train(pc, res.memAddr -
+                                     static_cast<uint64_t>(inst.imm));
+        }
+
+        // Dataflow scheduling.
+        uint64_t src_ready = 0;
+        uint64_t producer_seq[2] = {0, 0};
+        for (int s = 0; s < inst.numSrcs(); s++) {
+            isa::RegIndex reg = inst.srcReg(s);
+            if (reg == isa::kNoReg || reg == isa::kRegZero)
+                continue;
+            src_ready = std::max(src_ready, regReady_[reg]);
+            producer_seq[s] = lastWriterSeq_[reg];
+        }
+        uint64_t rename_done = cycle_ + cfg_.frontendDepth;
+        uint64_t complete;
+        if (inst.op == isa::Opcode::Nop || inst.op == isa::Opcode::Halt) {
+            complete = rename_done;
+        } else {
+            uint64_t start =
+                fu_.schedule(std::max(rename_done, src_ready));
+            int lat;
+            if (res.isLoad) {
+                start = l1dPorts_.schedule(start);
+                lat = hier_.read(res.memAddr);
+            } else if (res.isStore) {
+                lat = 1;
+            } else {
+                lat = isa::opLatency(inst.op);
+            }
+            complete = start + lat;
+        }
+        if (res.isStore)
+            hier_.write(res.memAddr);
+        if (res.regWrite) {
+            regReady_[inst.rd] = complete;
+            lastWriterSeq_[inst.rd] = seq;
+        }
+
+        RobEntry entry;
+        entry.seq = seq;
+        entry.pc = pc;
+        entry.inst = inst;
+        entry.completeCycle = complete;
+        entry.value = res.value;
+        entry.memAddr = res.memAddr;
+        entry.taken = res.taken;
+        entry.target = res.target;
+        entry.srcSeq[0] = producer_seq[0];
+        entry.srcSeq[1] = producer_seq[1];
+        entry.isTerm = inst.isTerminatingBranch();
+        rob_.push_back(entry);
+        fetched++;
+        trace_.record(cycle_, TraceEvent::Fetch, pc, seq);
+
+        if (res.halted) {
+            halted_ = true;
+            break;
+        }
+
+        if (!inst.isControl()) {
+            fetchPc_ = res.nextPc;
+            continue;
+        }
+
+        // ---- Control flow ----
+        branches++;
+        core::PathId path_id = 0;
+        if (entry.isTerm)
+            path_id = tracker_.pathId(cfg_.pathN);
+
+        bpred::HwPrediction hw =
+            fep_.predictAndTrain(pc, inst, res.taken, res.target);
+        if (inst.isCondBranch()) {
+            stats_.condBranches++;
+            if (!hw.correct)
+                stats_.condHwMispredicts++;
+        } else if (inst.isIndirect()) {
+            stats_.indirectBranches++;
+            if (!hw.correct)
+                stats_.indirectHwMispredicts++;
+        }
+
+        bool used_taken = hw.taken;
+        uint64_t used_target = hw.target;
+
+        if (entry.isTerm) {
+            if (cfg_.mode == sim::Mode::OracleAllBranches) {
+                used_taken = res.taken;
+                used_target = res.target;
+                stats_.oracleOverrides++;
+            } else if (cfg_.mode == sim::Mode::OracleDifficultPath &&
+                pathCache_.isPromoted(path_id)) {
+                used_taken = res.taken;
+                used_target = res.target;
+                stats_.oracleOverrides++;
+            } else if (predictionsUsable()) {
+                const core::PredEntry *pred =
+                    pcache_.lookup(path_id, seq);
+                if (pred) {
+                    // An early microthread prediction replaces the
+                    // hardware prediction.
+                    pcache_.markConsumed(path_id, seq);
+                    used_taken = pred->taken;
+                    used_target = pred->target;
+                    stats_.predEarly++;
+                    noteUsefulPrediction(path_id);
+                    trace_.record(cycle_, TraceEvent::PredEarly, pc,
+                                  seq, path_id);
+                    if (predMatches(pred->taken, pred->target,
+                                    res.taken, res.target)) {
+                        stats_.microPredCorrect++;
+                    } else {
+                        stats_.microPredWrong++;
+                    }
+                }
+            }
+        }
+
+        bool used_correct = predMatches(used_taken, used_target,
+                                        res.taken, res.target);
+
+        if (entry.isTerm) {
+            InFlightBranch br;
+            br.pathId = path_id;
+            br.resolveCycle = complete;
+            br.actualTaken = res.taken;
+            br.actualTarget = res.target;
+            br.usedTaken = used_taken;
+            br.usedTarget = used_target;
+            br.hwCorrect = hw.correct;
+            br.usedCorrectAtFetch = used_correct;
+            inflight_.emplace(seq, br);
+        }
+
+        if (res.taken)
+            tracker_.push(pathAddr(pc));
+        if (microthreadsActive())
+            feedMatchers(pc, res.taken, res.target);
+
+        fetchPc_ = res.nextPc;
+        if (!used_correct) {
+            trace_.record(cycle_, TraceEvent::Mispredict, pc, seq,
+                          path_id);
+            // Wrong-path bubble until resolution plus redirect.
+            fetchResumeCycle_ = complete + cfg_.redirectPenalty;
+            stallOwnerSeq_ = seq;
+            break;
+        }
+    }
+    return fetched;
+}
+
+// ---------------------------------------------------------------------
+// Retirement: in-order, trains the back-end structures, feeds the PRB
+// and the Path Cache, and drives promotion/demotion.
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::retire()
+{
+    int retired = 0;
+    while (!rob_.empty() && retired < cfg_.fetchWidth &&
+           rob_.front().completeCycle <= cycle_) {
+        RobEntry entry = rob_.front();
+        rob_.pop_front();
+        retired++;
+        stats_.retiredInsts++;
+        lastRetiredSeq_ = entry.seq;
+        trace_.record(cycle_, TraceEvent::Retire, entry.pc,
+                      entry.seq);
+
+        bool vp_conf = false;
+        bool ap_conf = false;
+        if (microthreadsActive()) {
+            if (entry.inst.writesReg())
+                vp_conf = vpred_.confident(entry.pc);
+            if (entry.inst.isLoad())
+                ap_conf = apred_.confident(entry.pc);
+
+            core::PrbEntry prb_entry;
+            prb_entry.seq = entry.seq;
+            prb_entry.pc = entry.pc;
+            prb_entry.inst = entry.inst;
+            prb_entry.value = entry.value;
+            prb_entry.memAddr = entry.memAddr;
+            prb_entry.taken = entry.taken;
+            prb_entry.target = entry.target;
+            prb_entry.srcSeq[0] = entry.srcSeq[0];
+            prb_entry.srcSeq[1] = entry.srcSeq[1];
+            prb_entry.vpConfident = vp_conf;
+            prb_entry.apConfident = ap_conf;
+            prb_.push(prb_entry);
+        }
+
+        if (entry.isTerm) {
+            auto it = inflight_.find(entry.seq);
+            SSMT_ASSERT(it != inflight_.end(),
+                        "terminating branch missing from in-flight map");
+            InFlightBranch br = it->second;
+            inflight_.erase(it);
+
+            if (!br.usedCorrectAtFetch)
+                stats_.usedMispredicts++;
+
+            if (mechanismActive()) {
+                core::PathEvent event =
+                    pathCache_.update(br.pathId, !br.hwCorrect);
+                if (event == core::PathEvent::None &&
+                    !staticHints_.empty() &&
+                    staticHints_.contains(br.pathId) &&
+                    !pathCache_.isPromoted(br.pathId)) {
+                    // Compiler hint: skip the training interval.
+                    event = core::PathEvent::RequestPromote;
+                    stats_.hintPromotions++;
+                }
+                if (event == core::PathEvent::RequestPromote &&
+                    !suppressed_.contains(br.pathId)) {
+                    handlePromotion(br.pathId, false);
+                } else if (event == core::PathEvent::Demote) {
+                    demote(br.pathId);
+                }
+                for (core::PathId evicted :
+                     pathCache_.takeEvictedPromotions()) {
+                    demote(evicted);
+                }
+                if (cfg_.rebuildOnViolation &&
+                    predictionsUsable() && br.microPredWrongConsumed) {
+                    const core::MicroThread *thread =
+                        microRam_.find(br.pathId);
+                    if (thread && thread->speculatesOnMemory) {
+                        stats_.rebuildRequests++;
+                        handlePromotion(br.pathId, true);
+                    }
+                }
+            }
+        }
+
+        if ((stats_.retiredInsts & 63) == 0)
+            pcache_.reclaimOlderThan(lastRetiredSeq_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Promotion / demotion
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::handlePromotion(core::PathId id, bool is_rebuild)
+{
+    if (cfg_.mode == sim::Mode::OracleDifficultPath) {
+        if (oraclePromoted_.size() >= cfg_.microRamEntries)
+            return;
+        oraclePromoted_.insert(id);
+        pathCache_.setPromoted(id, true);
+        stats_.promotionsRequested++;
+        stats_.promotionsCompleted++;
+        trace_.record(cycle_, TraceEvent::Promote, 0, 0, id);
+        return;
+    }
+    if (!microthreadsActive())
+        return;
+    if (builderBusy_)
+        return;     // dropped; the promotion logic will re-request
+    if (!is_rebuild)
+        stats_.promotionsRequested++;
+    auto built = builder_.build(prb_, id, cfg_.pathN, vpred_, apred_);
+    if (!built) {
+        stats_.buildsFailed++;
+        return;
+    }
+    pendingInstall_ = std::move(*built);
+    builderBusy_ = true;
+    builderReadyCycle_ = cycle_ + cfg_.buildLatency;
+}
+
+void
+SsmtCore::maybeFinishBuild()
+{
+    if (!builderBusy_ || cycle_ < builderReadyCycle_)
+        return;
+    builderBusy_ = false;
+    core::PathId id = pendingInstall_.pathId;
+    if (microRam_.insert(std::move(pendingInstall_))) {
+        pathCache_.setPromoted(id, true);
+        stats_.promotionsCompleted++;
+        trace_.record(cycle_, TraceEvent::Promote, 0, 0, id);
+    }
+    // On a full MicroRAM the Promoted bit stays clear and the Path
+    // Cache keeps re-requesting until space frees up.
+}
+
+void
+SsmtCore::demote(core::PathId id)
+{
+    if (cfg_.mode == sim::Mode::OracleDifficultPath)
+        oraclePromoted_.erase(id);
+    else
+        microRam_.remove(id);
+    pathCache_.setPromoted(id, false);
+    stats_.demotions++;
+    trace_.record(cycle_, TraceEvent::Demote, 0, 0, id);
+}
+
+// ---------------------------------------------------------------------
+// Spawning and the abort mechanism
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
+{
+    const std::vector<core::PathId> &ids = microRam_.routinesAt(pc);
+    if (ids.empty())
+        return;
+    for (core::PathId id : ids) {
+        std::shared_ptr<const core::MicroThread> thread =
+            microRam_.findShared(id);
+        if (!thread)
+            continue;
+        stats_.spawnAttempts++;
+        if (!core::prefixMatches(*thread, tracker_)) {
+            stats_.spawnAbortPrefix++;
+            trace_.record(cycle_, TraceEvent::SpawnAbortPrefix, pc,
+                          seq, id);
+            continue;
+        }
+        Microcontext *free_ctx = nullptr;
+        for (Microcontext &ctx : contexts_) {
+            if (!ctx.active) {
+                free_ctx = &ctx;
+                break;
+            }
+        }
+        if (!free_ctx) {
+            stats_.spawnNoContext++;
+            continue;
+        }
+        free_ctx->active = true;
+        free_ctx->thread = thread;
+        free_ctx->matcher = core::PathMatcher(thread.get());
+        free_ctx->regs = regs_;
+        free_ctx->regReady = regReady_;
+        // Capture pruning predictions now, anchored at the spawn.
+        free_ctx->predictedValues.assign(thread->ops.size(), 0);
+        for (size_t i = 0; i < thread->ops.size(); i++) {
+            const core::MicroOp &op = thread->ops[i];
+            if (op.inst.op == isa::Opcode::VpInst) {
+                free_ctx->predictedValues[i] =
+                    vpred_.predict(op.origPc, op.ahead);
+            } else if (op.inst.op == isa::Opcode::ApInst) {
+                free_ctx->predictedValues[i] =
+                    apred_.predict(op.origPc, op.ahead);
+            }
+        }
+        free_ctx->nextOp = 0;
+        free_ctx->opsInFlight = 0;
+        free_ctx->aborted = false;
+        free_ctx->spawnSeq = seq;
+        free_ctx->targetSeq = seq + thread->seqDelta;
+        free_ctx->spawnCycle = cycle_;
+        stats_.spawns++;
+        trace_.record(cycle_, TraceEvent::Spawn, pc, seq, id);
+        noteSpawn(id);
+    }
+}
+
+void
+SsmtCore::noteSpawn(core::PathId id)
+{
+    if (!cfg_.throttleEnabled)
+        return;
+    RoutineFeedback &fb = feedback_[id];
+    fb.spawns++;
+    if (fb.spawns % cfg_.throttleWindow != 0)
+        return;
+    double useful_rate = static_cast<double>(fb.useful) /
+                         static_cast<double>(fb.spawns);
+    if (useful_rate < cfg_.throttleMinUseful) {
+        // This routine burns resources without delivering; demote
+        // and keep it out (Section 5.3's throttling idea).
+        suppressed_.insert(id);
+        demote(id);
+        stats_.throttleDemotions++;
+        feedback_.erase(id);
+    }
+}
+
+void
+SsmtCore::noteUsefulPrediction(core::PathId id)
+{
+    if (!cfg_.throttleEnabled)
+        return;
+    auto it = feedback_.find(id);
+    if (it != feedback_.end())
+        it->second.useful++;
+}
+
+void
+SsmtCore::feedMatchers(uint64_t pc, bool taken, uint64_t target)
+{
+    for (Microcontext &ctx : contexts_) {
+        if (!ctx.active || ctx.aborted)
+            continue;
+        if (ctx.matcher.status() != core::PathMatcher::Status::Live)
+            continue;
+        auto status = ctx.matcher.onControlFlow(pc, taken, target);
+        if (status == core::PathMatcher::Status::Deviated)
+            abortContext(ctx);
+    }
+}
+
+void
+SsmtCore::abortContext(Microcontext &ctx)
+{
+    // Ops already in the window cannot be aborted; they drain.
+    ctx.aborted = true;
+    stats_.abortsPostSpawn++;
+    trace_.record(cycle_, TraceEvent::ThreadAbort, 0, ctx.spawnSeq,
+                  ctx.thread ? ctx.thread->pathId : 0);
+    if (ctx.drained())
+        ctx.reset();
+}
+
+// ---------------------------------------------------------------------
+// Microthread dispatch and completion
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::dispatchMicrothreads(int slots)
+{
+    if (slots <= 0 || contexts_.empty())
+        return;
+    uint32_t n = static_cast<uint32_t>(contexts_.size());
+    // Rotate the starting context each cycle for fairness.
+    rrStart_ = (rrStart_ + 1) % n;
+    for (uint32_t i = 0; i < n && slots > 0; i++) {
+        Microcontext &ctx = contexts_[(rrStart_ + i) % n];
+        while (slots > 0 && ctx.active && !ctx.aborted &&
+               ctx.thread && ctx.nextOp < ctx.thread->ops.size()) {
+            if (windowOccupancy() >=
+                static_cast<uint64_t>(cfg_.windowSize)) {
+                return;
+            }
+            const core::MicroOp &op = ctx.thread->ops[ctx.nextOp];
+            const isa::Inst &inst = op.inst;
+
+            uint64_t src_ready = 0;
+            for (int s = 0; s < inst.numSrcs(); s++) {
+                isa::RegIndex reg = inst.srcReg(s);
+                if (reg == isa::kNoReg || reg == isa::kRegZero)
+                    continue;
+                src_ready = std::max(src_ready, ctx.regReady[reg]);
+            }
+            // Microthread ops skip the I-cache but pay decode/rename.
+            uint64_t earliest = std::max(
+                cycle_ + cfg_.frontendDepth - cfg_.mem.l1Latency,
+                src_ready);
+
+            MicroCompletion event;
+            event.ctx =
+                static_cast<uint32_t>(&ctx - contexts_.data());
+            event.isStPCache = false;
+
+            uint64_t start;
+            int lat;
+            switch (inst.op) {
+              case isa::Opcode::VpInst:
+              case isa::Opcode::ApInst:
+                ctx.regs.write(inst.rd,
+                               ctx.predictedValues[ctx.nextOp]);
+                start = fu_.schedule(earliest);
+                lat = cfg_.vpInstLatency;
+                break;
+              case isa::Opcode::StPCache: {
+                // Evaluate the terminating branch's outcome from the
+                // microthread's registers.
+                core::RoutineOutcome outcome =
+                    core::evalStorePCache(op, ctx.regs);
+                event.isStPCache = true;
+                event.pathId = ctx.thread->pathId;
+                event.targetSeq = ctx.targetSeq;
+                event.taken = outcome.taken;
+                event.target = outcome.target;
+                start = fu_.schedule(earliest);
+                lat = 1;
+                break;
+              }
+              default: {
+                isa::StepResult res =
+                    isa::step(inst, op.origPc, ctx.regs, mem_);
+                start = fu_.schedule(earliest);
+                if (res.isLoad) {
+                    start = l1dPorts_.schedule(start);
+                    lat = hier_.read(res.memAddr);
+                } else {
+                    lat = isa::opLatency(inst.op);
+                }
+                break;
+              }
+            }
+
+            uint64_t complete = start + lat;
+            if (inst.writesReg())
+                ctx.regReady[inst.rd] = complete;
+
+            event.cycle = complete;
+            microEvents_.push(event);
+            ctx.opsInFlight++;
+            microOpsInWindow_++;
+            ctx.nextOp++;
+            stats_.microOpsExecuted++;
+            slots--;
+        }
+    }
+}
+
+void
+SsmtCore::processMicroEvents()
+{
+    while (!microEvents_.empty() &&
+           microEvents_.top().cycle <= cycle_) {
+        MicroCompletion event = microEvents_.top();
+        microEvents_.pop();
+        microOpsInWindow_--;
+        Microcontext &ctx = contexts_[event.ctx];
+        SSMT_ASSERT(ctx.opsInFlight > 0,
+                    "micro completion for an idle context");
+        ctx.opsInFlight--;
+
+        if (event.isStPCache && predictionsUsable())
+            handleStPCacheArrival(event);
+
+        if (ctx.active && ctx.drained()) {
+            if (!ctx.aborted) {
+                stats_.microthreadsCompleted++;
+                trace_.record(cycle_, TraceEvent::ThreadComplete, 0,
+                              ctx.spawnSeq,
+                              ctx.thread ? ctx.thread->pathId : 0);
+            }
+            ctx.reset();
+        }
+    }
+}
+
+void
+SsmtCore::handleStPCacheArrival(const MicroCompletion &event)
+{
+    auto it = inflight_.find(event.targetSeq);
+    if (it != inflight_.end() && it->second.pathId == event.pathId) {
+        InFlightBranch &br = it->second;
+        bool micro_correct =
+            predMatches(event.taken, event.target, br.actualTaken,
+                        br.actualTarget);
+        if (cycle_ >= br.resolveCycle) {
+            stats_.predUseless++;
+            return;
+        }
+        stats_.predLate++;
+        micro_correct ? stats_.microPredCorrect++
+                      : stats_.microPredWrong++;
+        noteUsefulPrediction(event.pathId);
+        trace_.record(cycle_, TraceEvent::PredLate, 0,
+                      event.targetSeq, event.pathId);
+
+        bool differs = event.taken != br.usedTaken ||
+                       (event.taken && event.target != br.usedTarget);
+        if (!differs)
+            return;
+
+        // "If a late microthread prediction does not match the
+        // hardware prediction used for that branch, it is assumed
+        // that the microthread prediction is more accurate, and an
+        // early recovery is initiated." (Section 4.3.3)
+        if (micro_correct && !br.usedCorrectAtFetch) {
+            stats_.earlyRecoveries++;
+            trace_.record(cycle_, TraceEvent::EarlyRecovery, 0,
+                          event.targetSeq, event.pathId);
+            if (stallOwnerSeq_ == event.targetSeq) {
+                fetchResumeCycle_ =
+                    std::min(fetchResumeCycle_,
+                             cycle_ + cfg_.redirectPenalty);
+            }
+        } else if (!micro_correct && br.usedCorrectAtFetch) {
+            // Bogus recovery: a correct fetch path is flushed; fetch
+            // restarts only after the branch resolves and redirects.
+            stats_.bogusRecoveries++;
+            trace_.record(cycle_, TraceEvent::BogusRecovery, 0,
+                          event.targetSeq, event.pathId);
+            br.microPredWrongConsumed = true;
+            fetchResumeCycle_ =
+                std::max(fetchResumeCycle_,
+                         br.resolveCycle + cfg_.redirectPenalty);
+            stallOwnerSeq_ = event.targetSeq;
+        } else if (!micro_correct) {
+            br.microPredWrongConsumed = true;
+        }
+        return;
+    }
+
+    if (event.targetSeq <= lastRetiredSeq_) {
+        // The branch already resolved and retired.
+        stats_.predUseless++;
+        return;
+    }
+    if (event.targetSeq < nextSeq_) {
+        // That instance was fetched but is not this path's branch:
+        // the primary thread left the path; the prediction's target
+        // was never reached.
+        stats_.predNeverReached++;
+        return;
+    }
+    // Not fetched yet: deposit for early use.
+    pcache_.write(event.pathId, event.targetSeq, event.taken,
+                  event.target, cycle_);
+}
+
+// ---------------------------------------------------------------------
+// Final accounting
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::finalizeStats()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    pcache_.reclaimOlderThan(~0ull);
+    stats_.predNeverReached += pcache_.reclaimedUnconsumed();
+    stats_.pathCacheAllocations = pathCache_.allocations();
+    stats_.pathCacheAllocationsSkipped =
+        pathCache_.allocationsSkipped();
+    stats_.pcacheWrites = pcache_.writes();
+    stats_.pcacheLookupHits = pcache_.lookupHits();
+    stats_.l1dMisses = hier_.l1d().misses();
+    stats_.l1dAccesses = hier_.l1d().accesses();
+    stats_.l2Misses = hier_.l2().misses();
+    stats_.l2Accesses = hier_.l2().accesses();
+    stats_.build = builder_.stats();
+    stats_.cycles = cycle_;
+}
+
+} // namespace cpu
+} // namespace ssmt

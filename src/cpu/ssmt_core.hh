@@ -1,0 +1,236 @@
+/**
+ * @file
+ * SsmtCore: the cycle-level model of the paper's Table 3 machine
+ * plus the difficult-path microthreading mechanism.
+ *
+ * Timing model (DESIGN.md Section 4): execute-at-fetch with dataflow
+ * scheduling. Each fetched instruction is functionally executed
+ * immediately; its completion cycle is computed from operand
+ * readiness, shared functional-unit availability and memory
+ * latencies. Mispredictions become front-end bubbles from the
+ * mispredicted branch until resolution plus the redirect penalty.
+ * Subordinate microthreads dispatch into leftover front-end slots,
+ * occupy window entries and contend for the same FUs; their
+ * Store_PCache completions feed the Prediction Cache, enabling
+ * early-prediction overrides and late-prediction early recoveries.
+ */
+
+#ifndef SSMT_CPU_SSMT_CORE_HH
+#define SSMT_CPU_SSMT_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bpred/frontend_predictor.hh"
+#include "core/microram.hh"
+#include "core/path_cache.hh"
+#include "core/path_tracker.hh"
+#include "core/prb.hh"
+#include "core/prediction_cache.hh"
+#include "core/uthread_builder.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/microcontext.hh"
+#include "cpu/trace.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+#include "sim/machine_config.hh"
+#include "sim/stats.hh"
+#include "vpred/value_predictor.hh"
+
+namespace ssmt
+{
+namespace cpu
+{
+
+class SsmtCore
+{
+  public:
+    SsmtCore(const isa::Program &prog,
+             const sim::MachineConfig &config);
+
+    /** Run to Halt (or the configured limits); @return final stats. */
+    const sim::Stats &run();
+
+    /** Advance one cycle (exposed for pipeline tests). */
+    void tick();
+
+    /** True when the program halted and the window drained. */
+    bool done() const;
+
+    const sim::Stats &stats() const { return stats_; }
+    uint64_t cycle() const { return cycle_; }
+    const isa::RegFile &archRegs() const { return regs_; }
+    const isa::MemoryImage &memory() const { return mem_; }
+
+    // Introspection for tests and examples.
+    const core::PathCache &pathCache() const { return pathCache_; }
+    const core::MicroRam &microRam() const { return microRam_; }
+    const core::PredictionCache &predictionCache() const
+    {
+        return pcache_;
+    }
+    const core::UthreadBuilder &builder() const { return builder_; }
+    const core::Prb &prb() const { return prb_; }
+    const memory::Hierarchy &hierarchy() const { return hier_; }
+    const bpred::FrontEndPredictor &frontend() const { return fep_; }
+    const PipelineTrace &trace() const { return trace_; }
+
+  private:
+    /** One in-flight primary-thread instruction. */
+    struct RobEntry
+    {
+        uint64_t seq;
+        uint64_t pc;
+        isa::Inst inst;
+        uint64_t completeCycle;
+        uint64_t value;
+        uint64_t memAddr;
+        bool taken;
+        uint64_t target;
+        uint64_t srcSeq[2];
+        bool isTerm;            ///< terminating branch
+    };
+
+    /** Authoritative state of an in-flight terminating branch. */
+    struct InFlightBranch
+    {
+        core::PathId pathId;
+        uint64_t resolveCycle;
+        bool actualTaken;
+        uint64_t actualTarget;
+        bool usedTaken;
+        uint64_t usedTarget;
+        bool hwCorrect;
+        bool usedCorrectAtFetch;
+        bool microPredWrongConsumed = false;
+    };
+
+    /** A scheduled microthread-op completion. */
+    struct MicroCompletion
+    {
+        uint64_t cycle;
+        uint32_t ctx;
+        bool isStPCache;
+        core::PathId pathId;
+        uint64_t targetSeq;
+        bool taken;
+        uint64_t target;
+
+        bool
+        operator>(const MicroCompletion &other) const
+        {
+            return cycle > other.cycle;
+        }
+    };
+
+    // ---- Construction-order state ----
+    isa::Program prog_;     ///< owned copy: callers may pass temporaries
+    sim::MachineConfig cfg_;
+    isa::MemoryImage mem_;
+    isa::RegFile regs_;
+    memory::Hierarchy hier_;
+    bpred::FrontEndPredictor fep_;
+    vpred::ValuePredictor vpred_;
+    vpred::ValuePredictor apred_;
+    core::PathTracker tracker_;
+    core::PathCache pathCache_;
+    core::Prb prb_;
+    core::UthreadBuilder builder_;
+    core::MicroRam microRam_;
+    core::PredictionCache pcache_;
+    FuPool fu_;
+    FuPool l1dPorts_;   ///< Table 3: 4 L1 data read ports per cycle
+    PipelineTrace trace_;
+    sim::Stats stats_;
+
+    // ---- Pipeline state ----
+    uint64_t cycle_ = 0;
+    uint64_t fetchPc_ = 0;
+    uint64_t nextSeq_ = 1;
+    uint64_t lastRetiredSeq_ = 0;
+    uint64_t fetchResumeCycle_ = 0;
+    uint64_t stallOwnerSeq_ = 0;
+    bool halted_ = false;
+    bool finalized_ = false;
+    std::array<uint64_t, isa::kNumRegs> regReady_ = {};
+    std::array<uint64_t, isa::kNumRegs> lastWriterSeq_ = {};
+    std::deque<RobEntry> rob_;
+    std::unordered_map<uint64_t, InFlightBranch> inflight_;
+
+    // ---- Microthread state ----
+    std::vector<Microcontext> contexts_;
+    std::priority_queue<MicroCompletion, std::vector<MicroCompletion>,
+                        std::greater<MicroCompletion>> microEvents_;
+    uint64_t microOpsInWindow_ = 0;
+    uint32_t rrStart_ = 0;
+
+    // ---- Builder occupancy ----
+    bool builderBusy_ = false;
+    uint64_t builderReadyCycle_ = 0;
+    core::MicroThread pendingInstall_;
+
+    // ---- Oracle-mode promoted set ----
+    std::unordered_set<core::PathId> oraclePromoted_;
+
+    // ---- Throttle feedback (Section 5.3) ----
+    struct RoutineFeedback
+    {
+        uint64_t spawns = 0;
+        uint64_t useful = 0;
+    };
+    std::unordered_map<core::PathId, RoutineFeedback> feedback_;
+    std::unordered_set<core::PathId> suppressed_;
+
+    // ---- Compiler hints (compile-time variant) ----
+    std::unordered_set<core::PathId> staticHints_;
+
+    // ---- Phases of tick() ----
+    void processMicroEvents();
+    void maybeFinishBuild();
+    void retire();
+    int fetch();
+    void dispatchMicrothreads(int slots);
+
+    // ---- Helpers ----
+    bool mechanismActive() const
+    {
+        return cfg_.mode != sim::Mode::Baseline;
+    }
+    bool microthreadsActive() const
+    {
+        return cfg_.mode == sim::Mode::Microthread ||
+               cfg_.mode == sim::Mode::MicrothreadNoPredictions;
+    }
+    bool predictionsUsable() const
+    {
+        return cfg_.mode == sim::Mode::Microthread;
+    }
+    uint64_t windowOccupancy() const
+    {
+        return rob_.size() + microOpsInWindow_;
+    }
+
+    void attemptSpawns(uint64_t pc, uint64_t seq);
+    void noteUsefulPrediction(core::PathId id);
+    void noteSpawn(core::PathId id);
+    void feedMatchers(uint64_t pc, bool taken, uint64_t target);
+    void abortContext(Microcontext &ctx);
+    void handleStPCacheArrival(const MicroCompletion &event);
+    void handlePromotion(core::PathId id, bool is_rebuild);
+    void demote(core::PathId id);
+    void finalizeStats();
+
+    static bool predMatches(bool pred_taken, uint64_t pred_target,
+                            bool actual_taken, uint64_t actual_target);
+};
+
+} // namespace cpu
+} // namespace ssmt
+
+#endif // SSMT_CPU_SSMT_CORE_HH

@@ -1,0 +1,82 @@
+#include "cpu/trace.hh"
+
+#include <cstdio>
+
+namespace ssmt
+{
+namespace cpu
+{
+
+const char *
+traceEventName(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::Fetch:            return "fetch";
+      case TraceEvent::Mispredict:       return "mispredict";
+      case TraceEvent::Retire:           return "retire";
+      case TraceEvent::Promote:          return "promote";
+      case TraceEvent::Demote:           return "demote";
+      case TraceEvent::Spawn:            return "spawn";
+      case TraceEvent::SpawnAbortPrefix: return "spawn-abort-prefix";
+      case TraceEvent::ThreadAbort:      return "thread-abort";
+      case TraceEvent::ThreadComplete:   return "thread-complete";
+      case TraceEvent::PredEarly:        return "pred-early";
+      case TraceEvent::PredLate:         return "pred-late";
+      case TraceEvent::EarlyRecovery:    return "early-recovery";
+      case TraceEvent::BogusRecovery:    return "bogus-recovery";
+    }
+    return "?";
+}
+
+std::string
+TraceRecord::toString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "[%10llu] %-18s pc=%llu seq=%llu aux=%016llx",
+                  static_cast<unsigned long long>(cycle),
+                  traceEventName(event),
+                  static_cast<unsigned long long>(pc),
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(aux));
+    return buf;
+}
+
+PipelineTrace::PipelineTrace(size_t capacity) : ring_(capacity)
+{
+}
+
+std::vector<TraceRecord>
+PipelineTrace::records() const
+{
+    std::vector<TraceRecord> out;
+    if (size_ == 0)
+        return out;
+    out.reserve(size_);
+    size_t start = (head_ + ring_.size() - size_) % ring_.size();
+    for (size_t i = 0; i < size_; i++)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+PipelineTrace::toString() const
+{
+    std::string out;
+    for (const TraceRecord &record : records()) {
+        out += record.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+PipelineTrace::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    totalRecorded_ = 0;
+}
+
+} // namespace cpu
+} // namespace ssmt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pipeline event trace: an optional, bounded ring of timestamped
+ * events the SSMT core emits at its decision points. Disabled (zero
+ * capacity) by default, so the hot path pays one predictable branch.
+ *
+ * Intended for debugging mechanism behaviour ("why did this spawn
+ * abort?") and for teaching — difficult_path_explorer-style tools
+ * can replay the last few hundred events of a run.
+ */
+
+#ifndef SSMT_CPU_TRACE_HH
+#define SSMT_CPU_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssmt
+{
+namespace cpu
+{
+
+enum class TraceEvent : uint8_t
+{
+    Fetch,              ///< pc, seq
+    Mispredict,         ///< pc, seq (used prediction wrong)
+    Retire,             ///< pc, seq
+    Promote,            ///< aux = Path_Id
+    Demote,             ///< aux = Path_Id
+    Spawn,              ///< pc = spawn pc, aux = Path_Id
+    SpawnAbortPrefix,   ///< pc = spawn pc, aux = Path_Id
+    ThreadAbort,        ///< aux = Path_Id (path deviated in flight)
+    ThreadComplete,     ///< aux = Path_Id
+    PredEarly,          ///< pc = branch pc, seq, aux = Path_Id
+    PredLate,           ///< seq, aux = Path_Id
+    EarlyRecovery,      ///< seq
+    BogusRecovery       ///< seq
+};
+
+const char *traceEventName(TraceEvent event);
+
+struct TraceRecord
+{
+    uint64_t cycle = 0;
+    TraceEvent event = TraceEvent::Fetch;
+    uint64_t pc = 0;
+    uint64_t seq = 0;
+    uint64_t aux = 0;
+
+    std::string toString() const;
+};
+
+class PipelineTrace
+{
+  public:
+    /** @param capacity ring size; 0 disables tracing entirely. */
+    explicit PipelineTrace(size_t capacity = 0);
+
+    bool enabled() const { return !ring_.empty(); }
+
+    void
+    record(uint64_t cycle, TraceEvent event, uint64_t pc = 0,
+           uint64_t seq = 0, uint64_t aux = 0)
+    {
+        if (ring_.empty())
+            return;
+        totalRecorded_++;
+        TraceRecord &slot = ring_[head_];
+        slot.cycle = cycle;
+        slot.event = event;
+        slot.pc = pc;
+        slot.seq = seq;
+        slot.aux = aux;
+        head_ = (head_ + 1) % ring_.size();
+        if (size_ < ring_.size())
+            size_++;
+    }
+
+    /** Events currently retained, oldest first. */
+    std::vector<TraceRecord> records() const;
+
+    /** Number of retained events. */
+    size_t size() const { return size_; }
+
+    /** Total events ever recorded (including overwritten). */
+    uint64_t totalRecorded() const { return totalRecorded_; }
+
+    /** Multi-line dump of the retained events. */
+    std::string toString() const;
+
+    void clear();
+
+  private:
+    std::vector<TraceRecord> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    uint64_t totalRecorded_ = 0;
+};
+
+} // namespace cpu
+} // namespace ssmt
+
+#endif // SSMT_CPU_TRACE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional execution semantics for the ssmt ISA.
+ *
+ * The same step() routine drives both the primary thread (inside the
+ * execute-at-fetch timing core) and subordinate microthreads (which
+ * run extracted slices over a private register file). Micro-only
+ * instructions (Store_PCache, Vp_Inst, Ap_Inst) are *not* handled
+ * here; the SSMT core intercepts them before calling step().
+ */
+
+#ifndef SSMT_ISA_EXECUTOR_HH
+#define SSMT_ISA_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "isa/memory_image.hh"
+
+namespace ssmt
+{
+namespace isa
+{
+
+/** Architectural register file; register 0 reads as zero. */
+class RegFile
+{
+  public:
+    RegFile() { regs_.fill(0); }
+
+    uint64_t
+    read(RegIndex idx) const
+    {
+        return idx == kRegZero ? 0 : regs_[idx];
+    }
+
+    void
+    write(RegIndex idx, uint64_t value)
+    {
+        if (idx != kRegZero)
+            regs_[idx] = value;
+    }
+
+    bool operator==(const RegFile &other) const = default;
+
+  private:
+    std::array<uint64_t, kNumRegs> regs_;
+};
+
+/** Everything a single functional step produced. */
+struct StepResult
+{
+    uint64_t nextPc = 0;
+    bool regWrite = false;
+    RegIndex rd = kNoReg;
+    uint64_t value = 0;         ///< register result, if any
+    bool isLoad = false;
+    bool isStore = false;
+    uint64_t memAddr = 0;       ///< effective address, if load/store
+    bool isControl = false;
+    bool taken = false;         ///< control flow changed pc
+    uint64_t target = 0;        ///< destination of taken control flow
+    bool halted = false;
+};
+
+/**
+ * Functionally execute @p inst at @p pc against @p regs / @p mem.
+ *
+ * @param inst instruction to execute (must not be micro-only)
+ * @param pc   instruction index of @p inst
+ * @param regs register file, updated in place
+ * @param mem  data memory, updated in place for stores
+ * @return what happened (result value, address, control flow)
+ */
+StepResult step(const Inst &inst, uint64_t pc, RegFile &regs,
+                MemoryImage &mem);
+
+/**
+ * Run a whole program functionally (no timing) until Halt or
+ * @p max_insts. Used by tests and by the offline path profiler.
+ *
+ * @return number of dynamic instructions executed.
+ */
+uint64_t run(const class Program &prog, RegFile &regs, MemoryImage &mem,
+             uint64_t max_insts);
+
+} // namespace isa
+} // namespace ssmt
+
+#endif // SSMT_ISA_EXECUTOR_HH

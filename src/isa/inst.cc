@@ -1,0 +1,152 @@
+#include "isa/inst.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace ssmt
+{
+namespace isa
+{
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::Ld:
+        return OpClass::MemRead;
+      case Opcode::St:
+        return OpClass::MemWrite;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+      case Opcode::J: case Opcode::Jal: case Opcode::Jr:
+      case Opcode::Jalr:
+        return OpClass::Control;
+      case Opcode::StPCache: case Opcode::VpInst: case Opcode::ApInst:
+        return OpClass::Micro;
+      case Opcode::Nop: case Opcode::Halt:
+        return OpClass::Other;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+int
+opLatency(Opcode op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntMul:
+        return 3;
+      case OpClass::IntDiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    return opClass(op) == OpClass::Control;
+}
+
+bool
+isIndirect(Opcode op)
+{
+    return op == Opcode::Jr || op == Opcode::Jalr;
+}
+
+bool
+isMicroOnly(Opcode op)
+{
+    return opClass(op) == OpClass::Micro;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    static const std::array<const char *,
+        static_cast<size_t>(Opcode::NumOpcodes)> names = {
+        "add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+        "mul", "div", "slt", "sltu", "cmpeq",
+        "addi", "andi", "ori", "xori", "slli", "srli", "srai",
+        "slti", "ldi",
+        "ld", "st",
+        "beq", "bne", "blt", "bge", "bltu", "bgeu",
+        "j", "jal", "jr", "jalr",
+        "nop", "halt",
+        "st_pcache", "vp_inst", "ap_inst",
+    };
+    auto idx = static_cast<size_t>(op);
+    if (idx >= names.size())
+        return "???";
+    return names[idx];
+}
+
+int
+Inst::numSrcs() const
+{
+    int n = 0;
+    if (rs1 != kNoReg)
+        n++;
+    if (rs2 != kNoReg)
+        n++;
+    return n;
+}
+
+std::string
+Inst::toString() const
+{
+    char buf[96];
+    const char *name = opcodeName(op);
+    if (isCondBranch()) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, r%d, #%lld", name,
+                      rs1, rs2, static_cast<long long>(imm));
+    } else if (op == Opcode::Ld) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, %lld(r%d)", name,
+                      rd, static_cast<long long>(imm), rs1);
+    } else if (op == Opcode::St) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, %lld(r%d)", name,
+                      rs2, static_cast<long long>(imm), rs1);
+    } else if (op == Opcode::Ldi) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, %lld", name, rd,
+                      static_cast<long long>(imm));
+    } else if (op == Opcode::J) {
+        std::snprintf(buf, sizeof(buf), "%-6s #%lld", name,
+                      static_cast<long long>(imm));
+    } else if (op == Opcode::Jal) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, #%lld", name, rd,
+                      static_cast<long long>(imm));
+    } else if (op == Opcode::Jr) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d", name, rs1);
+    } else if (op == Opcode::Jalr) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, r%d", name, rd, rs1);
+    } else if (rd != kNoReg && rs1 != kNoReg && rs2 != kNoReg) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, r%d, r%d", name, rd,
+                      rs1, rs2);
+    } else if (rd != kNoReg && rs1 != kNoReg) {
+        std::snprintf(buf, sizeof(buf), "%-6s r%d, r%d, %lld", name, rd,
+                      rs1, static_cast<long long>(imm));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%-6s", name);
+    }
+    return buf;
+}
+
+} // namespace isa
+} // namespace ssmt

@@ -1,0 +1,40 @@
+#include "isa/memory_image.hh"
+
+namespace ssmt
+{
+namespace isa
+{
+
+MemoryImage::Page *
+MemoryImage::pageFor(uint64_t addr, bool create) const
+{
+    uint64_t page_num = addr / kPageBytes;
+    auto it = pages_.find(page_num);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto page = std::make_unique<Page>();
+    Page *raw = page.get();
+    pages_.emplace(page_num, std::move(page));
+    return raw;
+}
+
+uint64_t
+MemoryImage::load(uint64_t addr) const
+{
+    const Page *page = pageFor(addr, false);
+    if (!page)
+        return 0;
+    return page->words[(addr % kPageBytes) / 8];
+}
+
+void
+MemoryImage::store(uint64_t addr, uint64_t value)
+{
+    Page *page = pageFor(addr, true);
+    page->words[(addr % kPageBytes) / 8] = value;
+}
+
+} // namespace isa
+} // namespace ssmt

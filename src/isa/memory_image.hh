@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse 64-bit data memory backing a running program.
+ *
+ * Memory is byte addressed but accessed in aligned 64-bit words,
+ * which is all the ISA supports. Storage is allocated lazily in 4KB
+ * pages so workloads can scatter heap, stack and table regions across
+ * a large address space without cost.
+ */
+
+#ifndef SSMT_ISA_MEMORY_IMAGE_HH
+#define SSMT_ISA_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace ssmt
+{
+namespace isa
+{
+
+class MemoryImage
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+    static constexpr uint64_t kWordsPerPage = kPageBytes / 8;
+
+    MemoryImage() = default;
+
+    /** Read the aligned 64-bit word containing @p addr. */
+    uint64_t load(uint64_t addr) const;
+
+    /** Write the aligned 64-bit word containing @p addr. */
+    void store(uint64_t addr, uint64_t value);
+
+    /** Number of pages currently materialized (for tests). */
+    size_t numPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    struct Page
+    {
+        uint64_t words[kWordsPerPage] = {};
+    };
+
+    mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    Page *pageFor(uint64_t addr, bool create) const;
+};
+
+} // namespace isa
+} // namespace ssmt
+
+#endif // SSMT_ISA_MEMORY_IMAGE_HH

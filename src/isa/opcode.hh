@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Opcode definitions for the ssmt RISC ISA.
+ *
+ * The ISA is a compact 64-bit RISC machine language standing in for
+ * the Alpha EV6 ISA used by the paper. It is deliberately small but
+ * complete enough to express the SPECint-proxy workloads: integer
+ * ALU ops, 64-bit loads/stores, conditional branches, direct and
+ * indirect jumps and calls.
+ *
+ * Three additional micro-instructions exist only inside subordinate
+ * microthreads (Section 3.2.3 / 4.2 of the paper):
+ *   StPCache - Store_PCache: deposit a pre-computed branch outcome
+ *              into the Prediction Cache.
+ *   VpInst   - Vp_Inst: query the value predictor for a pruned
+ *              sub-tree's output value.
+ *   ApInst   - Ap_Inst: query the address predictor for a pruned
+ *              load's base address.
+ */
+
+#ifndef SSMT_ISA_OPCODE_HH
+#define SSMT_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace ssmt
+{
+namespace isa
+{
+
+enum class Opcode : uint8_t
+{
+    // ALU register-register
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul, Div,
+    Slt, Sltu, Cmpeq,
+    // ALU register-immediate
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Ldi,
+    // Memory (64-bit words)
+    Ld, St,
+    // Conditional branches (rs1 ? rs2, absolute target in imm)
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Unconditional control flow
+    J,      // direct jump
+    Jal,    // direct call; rd <- return pc
+    Jr,     // indirect jump through rs1
+    Jalr,   // indirect call through rs1; rd <- return pc
+    // Misc
+    Nop, Halt,
+    // Microthread-only micro-instructions
+    StPCache, VpInst, ApInst,
+    NumOpcodes
+};
+
+/** Coarse classification used by the pipeline and the builder. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< pipelined multiply
+    IntDiv,     ///< unpipelined divide
+    MemRead,    ///< load
+    MemWrite,   ///< store
+    Control,    ///< branch/jump/call/return
+    Micro,      ///< microthread-only micro-instruction
+    Other       ///< Nop/Halt
+};
+
+/** @return the coarse class of @p op. */
+OpClass opClass(Opcode op);
+
+/** @return execution latency in cycles (loads excluded; they ask the
+ *  cache hierarchy). */
+int opLatency(Opcode op);
+
+/** @return true if @p op is a conditional branch. */
+bool isCondBranch(Opcode op);
+
+/** @return true if @p op is any control-flow instruction. */
+bool isControl(Opcode op);
+
+/** @return true if @p op is an indirect control-flow instruction. */
+bool isIndirect(Opcode op);
+
+/** @return true if @p op may only appear inside a microthread. */
+bool isMicroOnly(Opcode op);
+
+/** @return mnemonic string for disassembly. */
+const char *opcodeName(Opcode op);
+
+} // namespace isa
+} // namespace ssmt
+
+#endif // SSMT_ISA_OPCODE_HH

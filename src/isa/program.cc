@@ -1,0 +1,43 @@
+#include "isa/program.hh"
+
+#include <cstdio>
+
+#include "isa/memory_image.hh"
+
+namespace ssmt
+{
+namespace isa
+{
+
+Program::Program(std::string name, std::vector<Inst> code,
+                 std::vector<DataInit> data)
+    : name_(std::move(name)), code_(std::move(code)),
+      data_(std::move(data))
+{
+}
+
+void
+Program::loadData(MemoryImage &mem) const
+{
+    for (const DataInit &init : data_)
+        mem.store(init.addr, init.value);
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    out.reserve(code_.size() * 32);
+    char buf[32];
+    for (uint64_t pc = 0; pc < code_.size(); pc++) {
+        std::snprintf(buf, sizeof(buf), "%6llu:  ",
+                      static_cast<unsigned long long>(pc));
+        out += buf;
+        out += code_[pc].toString();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace isa
+} // namespace ssmt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A loadable program: code, initial data image, and an entry point.
+ */
+
+#ifndef SSMT_ISA_PROGRAM_HH
+#define SSMT_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace ssmt
+{
+namespace isa
+{
+
+class MemoryImage;
+
+/** An (address, value) pair in the initial data image. */
+struct DataInit
+{
+    uint64_t addr;
+    uint64_t value;
+};
+
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, std::vector<Inst> code,
+            std::vector<DataInit> data);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Inst> &code() const { return code_; }
+    const Inst &inst(uint64_t pc) const { return code_[pc]; }
+    uint64_t size() const { return code_.size(); }
+    uint64_t entry() const { return 0; }
+
+    /** Copy the initial data image into @p mem. */
+    void loadData(MemoryImage &mem) const;
+
+    /** @return multi-line disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Inst> code_;
+    std::vector<DataInit> data_;
+};
+
+} // namespace isa
+} // namespace ssmt
+
+#endif // SSMT_ISA_PROGRAM_HH

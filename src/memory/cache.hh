@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tag-only set-associative cache model with true-LRU replacement.
+ *
+ * Data values live in the functional MemoryImage; caches model only
+ * presence/latency, which is all the timing core needs. This mirrors
+ * the paper's Table 3 hierarchy where caches affect load latency (and
+ * provide the prefetching side-effect of microthreads, Section 5.3)
+ * but not correctness.
+ */
+
+#ifndef SSMT_MEMORY_CACHE_HH
+#define SSMT_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssmt
+{
+namespace memory
+{
+
+class Cache
+{
+  public:
+    /**
+     * @param name        for diagnostics
+     * @param size_bytes  total capacity (power of two)
+     * @param assoc       ways per set
+     * @param line_bytes  line size (power of two)
+     */
+    Cache(const std::string &name, uint64_t size_bytes, uint32_t assoc,
+          uint32_t line_bytes);
+
+    /**
+     * Look up @p addr; updates LRU and hit/miss counters.
+     * @param allocate_on_miss fill the line if it missed
+     * @return true on hit
+     */
+    bool access(uint64_t addr, bool allocate_on_miss = true);
+
+    /** Look up without any state change. */
+    bool probe(uint64_t addr) const;
+
+    /** Fill the line containing @p addr (no hit/miss accounting). */
+    void fill(uint64_t addr);
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidate(uint64_t addr);
+
+    /** Clear all lines and counters. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+    uint64_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return assoc_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    std::string name_;
+    uint32_t assoc_;
+    uint32_t lineBytes_;
+    uint64_t numSets_ = 0;
+    uint32_t lineShift_ = 0;
+    std::vector<Line> sets_;
+    uint64_t stamp_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+
+    void fillLine(uint64_t set, uint64_t tag);
+};
+
+} // namespace memory
+} // namespace ssmt
+
+#endif // SSMT_MEMORY_CACHE_HH

@@ -1,0 +1,60 @@
+#include "memory/hierarchy.hh"
+
+namespace ssmt
+{
+namespace memory
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l1i_("l1i", config.l1iSize, config.l1iAssoc, config.lineBytes),
+      l1d_("l1d", config.l1dSize, config.l1dAssoc, config.lineBytes),
+      l2_("l2", config.l2Size, config.l2Assoc, config.lineBytes)
+{
+}
+
+int
+Hierarchy::read(uint64_t addr)
+{
+    if (l1d_.access(addr, false))
+        return config_.l1Latency;
+    if (l2_.access(addr)) {
+        l1d_.fill(addr);
+        return config_.l1Latency + config_.l2Latency;
+    }
+    l1d_.fill(addr);
+    return config_.l1Latency + config_.l2Latency + config_.dramLatency;
+}
+
+void
+Hierarchy::write(uint64_t addr)
+{
+    // Table 3: "stores are sent directly to the L2 and invalidated in
+    // the L1".
+    l1d_.invalidate(addr);
+    l2_.access(addr);
+}
+
+int
+Hierarchy::fetch(uint64_t byte_addr)
+{
+    if (l1i_.access(byte_addr, false))
+        return config_.l1Latency;
+    if (l2_.access(byte_addr)) {
+        l1i_.fill(byte_addr);
+        return config_.l1Latency + config_.l2Latency;
+    }
+    l1i_.fill(byte_addr);
+    return config_.l1Latency + config_.l2Latency + config_.dramLatency;
+}
+
+void
+Hierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+}
+
+} // namespace memory
+} // namespace ssmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  - the user asked for something unsatisfiable (bad
+ *            configuration, bad workload parameters); exits cleanly.
+ * warn()   - something questionable happened but simulation can
+ *            continue.
+ */
+
+#ifndef SSMT_SIM_LOGGING_HH
+#define SSMT_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ssmt
+{
+
+namespace detail
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace detail
+
+} // namespace ssmt
+
+#define SSMT_PANIC(msg) \
+    ::ssmt::detail::panicImpl(__FILE__, __LINE__, (msg))
+#define SSMT_FATAL(msg) \
+    ::ssmt::detail::fatalImpl(__FILE__, __LINE__, (msg))
+#define SSMT_WARN(msg) \
+    ::ssmt::detail::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; always on (simulators must not lie). */
+#define SSMT_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            SSMT_PANIC(std::string("assertion failed: ") + #cond + \
+                       " - " + (msg)); \
+    } while (0)
+
+#endif // SSMT_SIM_LOGGING_HH

@@ -1,0 +1,72 @@
+#include "sim/machine_config.hh"
+
+#include <cstdio>
+
+namespace ssmt
+{
+namespace sim
+{
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Baseline:
+        return "baseline";
+      case Mode::OracleDifficultPath:
+        return "oracle-difficult-path";
+      case Mode::Microthread:
+        return "microthread";
+      case Mode::MicrothreadNoPredictions:
+        return "microthread-no-predictions";
+      case Mode::OracleAllBranches:
+        return "oracle-all-branches";
+    }
+    return "?";
+}
+
+std::string
+MachineConfig::toString() const
+{
+    char buf[2048];
+    std::snprintf(buf, sizeof(buf),
+        "machine model:\n"
+        "  fetch/decode/rename : %d-wide, %d branch preds/cycle, "
+        "%d I-cache lines/cycle, front-end depth %d\n"
+        "  execution core      : %d-entry window, %d FUs, "
+        "redirect penalty %d (total mispredict penalty %d)\n"
+        "  L1I                 : %llu KB %u-way, %d cycles\n"
+        "  L1D                 : %llu KB %u-way, %d cycles\n"
+        "  L2                  : %llu KB %u-way, +%d cycles\n"
+        "  DRAM                : +%d cycles\n"
+        "  direction predictor : %lluK-entry gshare/PAs hybrid, "
+        "%lluK-entry selector\n"
+        "  target cache        : %lluK entries; RAS depth %u\n"
+        "mechanism (%s):\n"
+        "  path n = %d, T = %.2f, path cache %u entries "
+        "(%u-way, training interval %u)\n"
+        "  MicroRAM %u routines, prediction cache %u entries\n"
+        "  PRB %u, MCB %d, %u microcontexts, build latency %d, "
+        "pruning %s\n",
+        fetchWidth, maxBranchPredsPerCycle, maxICacheLinesPerCycle,
+        frontendDepth, windowSize, numFUs, redirectPenalty,
+        frontendDepth + redirectPenalty,
+        static_cast<unsigned long long>(mem.l1iSize / 1024),
+        mem.l1iAssoc, mem.l1Latency,
+        static_cast<unsigned long long>(mem.l1dSize / 1024),
+        mem.l1dAssoc, mem.l1Latency,
+        static_cast<unsigned long long>(mem.l2Size / 1024),
+        mem.l2Assoc, mem.l2Latency, mem.dramLatency,
+        static_cast<unsigned long long>(bpredComponentEntries / 1024),
+        static_cast<unsigned long long>(bpredSelectorEntries / 1024),
+        static_cast<unsigned long long>(targetCacheEntries / 1024),
+        rasDepth, modeName(mode), pathN, difficultyThreshold,
+        pathCacheEntries, pathCacheAssoc, trainingInterval,
+        microRamEntries, predictionCacheEntries, prbEntries,
+        builder.mcbEntries, numMicrocontexts, buildLatency,
+        builder.pruningEnabled ? "on" : "off");
+    return buf;
+}
+
+} // namespace sim
+} // namespace ssmt

@@ -1,0 +1,52 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+
+namespace ssmt
+{
+namespace sim
+{
+
+std::string
+asciiBar(double value, double unit, int max_chars)
+{
+    int chars = unit > 0.0 ? static_cast<int>(value / unit) : 0;
+    if (chars < 0)
+        chars = 0;
+    if (chars > max_chars)
+        chars = max_chars;
+    return std::string(static_cast<size_t>(chars), '#');
+}
+
+std::string
+padLeft(const std::string &text, int width)
+{
+    if (static_cast<int>(text.size()) >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string &text, int width)
+{
+    if (static_cast<int>(text.size()) >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+rule(int width)
+{
+    return std::string(static_cast<size_t>(width), '-');
+}
+
+} // namespace sim
+} // namespace ssmt

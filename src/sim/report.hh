@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small text-report helpers shared by the benches and examples:
+ * fixed-width table rows and ASCII bars for the figure
+ * reproductions.
+ */
+
+#ifndef SSMT_SIM_REPORT_HH
+#define SSMT_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace ssmt
+{
+namespace sim
+{
+
+/**
+ * Render @p value as an ASCII bar: one '#' per @p unit, capped at
+ * @p max_chars. Used by the figure benches to sketch bar charts in
+ * a terminal.
+ */
+std::string asciiBar(double value, double unit, int max_chars = 60);
+
+/** Left-pad @p text to @p width. */
+std::string padLeft(const std::string &text, int width);
+
+/** Right-pad @p text to @p width. */
+std::string padRight(const std::string &text, int width);
+
+/** Format a double with @p decimals places. */
+std::string fmt(double value, int decimals = 2);
+
+/** A horizontal rule sized to @p width. */
+std::string rule(int width);
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_REPORT_HH

@@ -1,0 +1,50 @@
+#include "sim/sim_runner.hh"
+
+#include <cmath>
+
+#include "cpu/ssmt_core.hh"
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+Stats
+runProgram(const isa::Program &prog, const MachineConfig &config)
+{
+    cpu::SsmtCore core(prog, config);
+    return core.run();
+}
+
+double
+speedup(const Stats &test, const Stats &baseline)
+{
+    SSMT_ASSERT(baseline.ipc() > 0.0, "baseline run made no progress");
+    return test.ipc() / baseline.ipc();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace sim
+} // namespace ssmt

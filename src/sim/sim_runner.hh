@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Convenience drivers: run a program on a configured machine and
+ * compare modes the way the paper's figures do.
+ */
+
+#ifndef SSMT_SIM_SIM_RUNNER_HH
+#define SSMT_SIM_SIM_RUNNER_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/machine_config.hh"
+#include "sim/stats.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+/** Run @p prog to completion under @p config and return the stats. */
+Stats runProgram(const isa::Program &prog, const MachineConfig &config);
+
+/** IPC speed-up of @p test over @p baseline, as plotted in the
+ *  paper's Figures 6 and 7 (1.0 = no change). */
+double speedup(const Stats &test, const Stats &baseline);
+
+/** Geometric mean (the conventional average for speed-ups). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_SIM_RUNNER_HH

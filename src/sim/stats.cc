@@ -1,0 +1,94 @@
+#include "sim/stats.hh"
+
+#include <cstdio>
+
+namespace ssmt
+{
+namespace sim
+{
+
+std::string
+Stats::report() const
+{
+    std::string out;
+    char buf[512];
+    auto line = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+        out += '\n';
+    };
+
+    line("cycles                 %12llu",
+         static_cast<unsigned long long>(cycles));
+    line("retired insts          %12llu",
+         static_cast<unsigned long long>(retiredInsts));
+    line("IPC                    %12.4f", ipc());
+    line("fetch bubble cycles    %12llu",
+         static_cast<unsigned long long>(fetchBubbleCycles));
+    line("cond branches          %12llu  (hw mispredict %.4f)",
+         static_cast<unsigned long long>(condBranches),
+         condBranches ? static_cast<double>(condHwMispredicts) /
+                            condBranches
+                      : 0.0);
+    line("indirect branches      %12llu  (hw mispredict %.4f)",
+         static_cast<unsigned long long>(indirectBranches),
+         indirectBranches
+             ? static_cast<double>(indirectHwMispredicts) /
+                   indirectBranches
+             : 0.0);
+    line("used mispredict rate   %12.4f", usedMispredictRate());
+
+    if (spawnAttempts || promotionsRequested || oracleOverrides) {
+        line("promotions req/done    %8llu / %llu  (demotions %llu, "
+             "build fails %llu, rebuilds %llu)",
+             static_cast<unsigned long long>(promotionsRequested),
+             static_cast<unsigned long long>(promotionsCompleted),
+             static_cast<unsigned long long>(demotions),
+             static_cast<unsigned long long>(buildsFailed),
+             static_cast<unsigned long long>(rebuildRequests));
+        line("spawn attempts         %12llu  (pre-alloc abort %.1f%%)",
+             static_cast<unsigned long long>(spawnAttempts),
+             100.0 * preAllocationAbortRate());
+        line("spawns                 %12llu  (post-spawn abort %.1f%%)",
+             static_cast<unsigned long long>(spawns),
+             100.0 * postSpawnAbortRate());
+        line("microthreads completed %12llu  (ops executed %llu)",
+             static_cast<unsigned long long>(microthreadsCompleted),
+             static_cast<unsigned long long>(microOpsExecuted));
+        line("predictions e/l/u/nr   %8llu / %llu / %llu / %llu",
+             static_cast<unsigned long long>(predEarly),
+             static_cast<unsigned long long>(predLate),
+             static_cast<unsigned long long>(predUseless),
+             static_cast<unsigned long long>(predNeverReached));
+        line("micro pred correct     %12llu  (wrong %llu)",
+             static_cast<unsigned long long>(microPredCorrect),
+             static_cast<unsigned long long>(microPredWrong));
+        line("recoveries early/bogus %8llu / %llu",
+             static_cast<unsigned long long>(earlyRecoveries),
+             static_cast<unsigned long long>(bogusRecoveries));
+        line("oracle overrides       %12llu",
+             static_cast<unsigned long long>(oracleOverrides));
+        if (throttleDemotions || hintPromotions) {
+            line("throttle demotions     %12llu  (hint promotions "
+                 "%llu)",
+                 static_cast<unsigned long long>(throttleDemotions),
+                 static_cast<unsigned long long>(hintPromotions));
+        }
+        line("builder: built %llu, avg size %.2f, avg chain %.2f, "
+             "pruned %llu routines / %llu subtrees",
+             static_cast<unsigned long long>(build.built),
+             build.avgRoutineSize(), build.avgLongestChain(),
+             static_cast<unsigned long long>(build.prunedRoutines),
+             static_cast<unsigned long long>(build.prunedSubtrees));
+    }
+    line("L1D misses             %12llu / %llu",
+         static_cast<unsigned long long>(l1dMisses),
+         static_cast<unsigned long long>(l1dAccesses));
+    line("L2 misses              %12llu / %llu",
+         static_cast<unsigned long long>(l2Misses),
+         static_cast<unsigned long long>(l2Accesses));
+    return out;
+}
+
+} // namespace sim
+} // namespace ssmt

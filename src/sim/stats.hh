@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-run statistics collected by the SSMT core. Everything the
+ * paper's tables and figures need falls out of these counters.
+ */
+
+#ifndef SSMT_SIM_STATS_HH
+#define SSMT_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/uthread_builder.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+struct Stats
+{
+    // ---- Progress ----
+    uint64_t cycles = 0;
+    uint64_t retiredInsts = 0;          ///< primary thread only
+    uint64_t fetchBubbleCycles = 0;     ///< cycles with fetch stalled
+
+    // ---- Branches (primary thread) ----
+    uint64_t condBranches = 0;
+    uint64_t condHwMispredicts = 0;
+    uint64_t indirectBranches = 0;
+    uint64_t indirectHwMispredicts = 0;
+    /** Mispredictions of the prediction actually used for fetch
+     *  (after microthread/oracle overrides). */
+    uint64_t usedMispredicts = 0;
+
+    // ---- Difficult-path mechanism ----
+    uint64_t promotionsRequested = 0;
+    uint64_t promotionsCompleted = 0;
+    uint64_t demotions = 0;
+    uint64_t buildsFailed = 0;
+    uint64_t rebuildRequests = 0;
+    uint64_t oracleOverrides = 0;       ///< oracle-mode perfect preds
+    uint64_t throttleDemotions = 0;     ///< feedback throttle fired
+    uint64_t hintPromotions = 0;        ///< compiler-hint promotions
+
+    // ---- Spawning / aborting (Section 4.3.2) ----
+    uint64_t spawnAttempts = 0;
+    uint64_t spawnAbortPrefix = 0;      ///< pre-allocation path abort
+    uint64_t spawnNoContext = 0;        ///< no free microcontext
+    uint64_t spawns = 0;                ///< microcontext allocated
+    uint64_t abortsPostSpawn = 0;       ///< path deviated in flight
+    uint64_t microthreadsCompleted = 0;
+    uint64_t microOpsExecuted = 0;
+
+    // ---- Microthread predictions (Figure 9) ----
+    uint64_t predEarly = 0;             ///< arrived before fetch
+    uint64_t predLate = 0;              ///< after fetch, before resolve
+    uint64_t predUseless = 0;           ///< after resolve
+    uint64_t predNeverReached = 0;      ///< branch instance never hit
+    uint64_t microPredCorrect = 0;
+    uint64_t microPredWrong = 0;
+    uint64_t earlyRecoveries = 0;       ///< late pred fixed a mispredict
+    uint64_t bogusRecoveries = 0;       ///< late pred broke a correct one
+
+    // ---- Substrate snapshots (filled at run end) ----
+    uint64_t pathCacheAllocations = 0;
+    uint64_t pathCacheAllocationsSkipped = 0;
+    uint64_t pcacheWrites = 0;
+    uint64_t pcacheLookupHits = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l2Accesses = 0;
+    core::BuildStats build;
+
+    // ---- Derived ----
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retiredInsts) / cycles
+                      : 0.0;
+    }
+
+    double
+    hwMispredictRate() const
+    {
+        uint64_t branches = condBranches + indirectBranches;
+        uint64_t miss = condHwMispredicts + indirectHwMispredicts;
+        return branches ? static_cast<double>(miss) / branches : 0.0;
+    }
+
+    double
+    usedMispredictRate() const
+    {
+        uint64_t branches = condBranches + indirectBranches;
+        return branches ? static_cast<double>(usedMispredicts) /
+                              branches
+                        : 0.0;
+    }
+
+    /** Fraction of spawn attempts aborted before allocation. */
+    double
+    preAllocationAbortRate() const
+    {
+        return spawnAttempts
+                   ? static_cast<double>(spawnAbortPrefix +
+                                         spawnNoContext) /
+                         spawnAttempts
+                   : 0.0;
+    }
+
+    /** Fraction of successful spawns aborted before completion. */
+    double
+    postSpawnAbortRate() const
+    {
+        return spawns ? static_cast<double>(abortsPostSpawn) / spawns
+                      : 0.0;
+    }
+
+    std::string report() const;
+};
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_STATS_HH

@@ -1,0 +1,82 @@
+#include "vpred/value_predictor.hh"
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace vpred
+{
+
+ValuePredictor::ValuePredictor(uint64_t num_entries, int confidence_max,
+                               int confidence_thresh)
+    : table_(num_entries), mask_(num_entries - 1),
+      confMax_(confidence_max), confThresh_(confidence_thresh)
+{
+    SSMT_ASSERT((num_entries & mask_) == 0,
+                "value predictor size must be a power of two");
+    SSMT_ASSERT(confidence_thresh <= confidence_max,
+                "confidence threshold above saturation point");
+}
+
+const ValuePredictor::Entry *
+ValuePredictor::find(uint64_t pc) const
+{
+    const Entry &entry = table_[pc & mask_];
+    if (entry.valid && entry.tag == pc)
+        return &entry;
+    return nullptr;
+}
+
+void
+ValuePredictor::train(uint64_t pc, uint64_t value)
+{
+    trainings_++;
+    Entry &entry = table_[pc & mask_];
+    if (!entry.valid || entry.tag != pc) {
+        entry = Entry{true, pc, value, 0, 0};
+        return;
+    }
+    int64_t new_stride = static_cast<int64_t>(value - entry.lastValue);
+    if (new_stride == entry.stride) {
+        if (entry.conf < confMax_)
+            entry.conf++;
+    } else {
+        entry.stride = new_stride;
+        entry.conf = 0;
+    }
+    entry.lastValue = value;
+}
+
+uint64_t
+ValuePredictor::predict(uint64_t pc, uint64_t ahead) const
+{
+    const Entry *entry = find(pc);
+    if (!entry)
+        return 0;
+    return entry->lastValue +
+           static_cast<uint64_t>(entry->stride) * ahead;
+}
+
+bool
+ValuePredictor::confident(uint64_t pc) const
+{
+    const Entry *entry = find(pc);
+    return entry && entry->conf >= confThresh_;
+}
+
+int
+ValuePredictor::confidence(uint64_t pc) const
+{
+    const Entry *entry = find(pc);
+    return entry ? entry->conf : 0;
+}
+
+int64_t
+ValuePredictor::stride(uint64_t pc) const
+{
+    const Entry *entry = find(pc);
+    return entry ? entry->stride : 0;
+}
+
+} // namespace vpred
+} // namespace ssmt

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Structured random program generator for differential testing.
+ *
+ * Programs are random basic blocks wired with random (possibly
+ * backward) control flow, made terminating by a fuel counter: every
+ * block burns one unit and exits when it runs out. Memory accesses
+ * are masked into a private data region. The generator's purpose is
+ * the co-simulation property: the timing core, in every machine
+ * mode, must compute exactly the architectural state the functional
+ * executor computes.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeRandomProgram(uint64_t seed, int num_blocks, uint64_t fuel)
+{
+    constexpr uint64_t kData = 0x40000;
+    constexpr int64_t kMask = 0x3ff8;   // 16KB region, aligned
+    Rng rng(seed);
+
+    ProgramBuilder b;
+    std::vector<uint64_t> data;
+    for (int i = 0; i < (kMask + 8) / 8; i++)
+        data.push_back(rng.next());
+    b.initWords(kData, data);
+
+    auto reg = [&]() { return R(1 + static_cast<int>(rng.nextBelow(15))); };
+    auto block_label = [](int i) {
+        return "block" + std::to_string(i);
+    };
+
+    // Seed registers and the fuel counter (r29).
+    for (int r = 1; r <= 15; r++)
+        b.li(R(r), static_cast<int64_t>(rng.next() >> 16));
+    b.li(R(29), static_cast<int64_t>(fuel));
+
+    for (int block = 0; block < num_blocks; block++) {
+        b.label(block_label(block));
+        // Fuel: guarantees termination whatever the wiring does.
+        b.addi(R(29), R(29), -1);
+        b.beq(R(29), R(0), "exit");
+
+        int ops = 3 + static_cast<int>(rng.nextBelow(6));
+        for (int i = 0; i < ops; i++) {
+            switch (rng.nextBelow(10)) {
+              case 0: b.add(reg(), reg(), reg()); break;
+              case 1: b.sub(reg(), reg(), reg()); break;
+              case 2: b.xor_(reg(), reg(), reg()); break;
+              case 3: b.and_(reg(), reg(), reg()); break;
+              case 4:
+                b.slli(reg(), reg(),
+                       static_cast<int64_t>(rng.nextBelow(16)));
+                break;
+              case 5:
+                b.addi(reg(), reg(),
+                       static_cast<int64_t>(rng.nextBelow(4096)) -
+                           2048);
+                break;
+              case 6: b.mul(reg(), reg(), reg()); break;
+              case 7:
+                b.srli(reg(), reg(),
+                       static_cast<int64_t>(rng.nextBelow(32)));
+                break;
+              case 8: {  // load: address masked into the region
+                isa::RegIndex addr = R(16);
+                b.andi(addr, reg(), kMask);
+                b.li(R(17), static_cast<int64_t>(kData));
+                b.add(addr, addr, R(17));
+                b.ld(reg(), addr, 0);
+                break;
+              }
+              default: {  // store
+                isa::RegIndex addr = R(16);
+                b.andi(addr, reg(), kMask);
+                b.li(R(17), static_cast<int64_t>(kData));
+                b.add(addr, addr, R(17));
+                b.st(reg(), addr, 0);
+                break;
+              }
+            }
+        }
+
+        // Random control flow out of the block.
+        int target = static_cast<int>(rng.nextBelow(num_blocks));
+        switch (rng.nextBelow(4)) {
+          case 0:
+            b.beq(reg(), reg(), block_label(target));
+            break;
+          case 1:
+            b.bne(reg(), reg(), block_label(target));
+            break;
+          case 2:
+            b.blt(reg(), reg(), block_label(target));
+            break;
+          default:
+            b.j(block_label(target));
+            break;
+        }
+        // Conditional fall-through continues into the next block;
+        // the last block falls into exit.
+    }
+    b.label("exit");
+    b.halt();
+    return b.build("random_" + std::to_string(seed));
+}
+
+} // namespace workloads
+} // namespace ssmt

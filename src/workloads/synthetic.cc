@@ -1,0 +1,96 @@
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeSynthetic(const SyntheticSpec &spec)
+{
+    SSMT_ASSERT(spec.numSites > 0 &&
+                static_cast<int>(spec.takenPercent.size()) ==
+                    spec.numSites,
+                "takenPercent must have one entry per site");
+    SSMT_ASSERT((spec.elemsPerSite & (spec.elemsPerSite - 1)) == 0,
+                "elemsPerSite must be a power of two");
+
+    constexpr uint64_t kDataBase = 0x10000;
+    ProgramBuilder b;
+    Rng rng(spec.seed);
+
+    // Per-site data: element low bit decides the helper's branch.
+    for (int site = 0; site < spec.numSites; site++) {
+        std::vector<uint64_t> data;
+        data.reserve(spec.elemsPerSite);
+        for (int i = 0; i < spec.elemsPerSite; i++) {
+            uint64_t value = rng.next() & ~1ull;
+            if (rng.chance(spec.takenPercent[site]))
+                value |= 1;
+            data.push_back(value);
+        }
+        b.initWords(kDataBase + static_cast<uint64_t>(site) *
+                                    spec.elemsPerSite * 8,
+                    data);
+    }
+
+    // r20 = outer iteration counter
+    b.li(R(20), static_cast<int64_t>(spec.iters));
+    b.label("outer");
+    // Per-iteration odd stride: the helper scans each region in a
+    // different permutation every pass, so the (fixed) data never
+    // yields a repeating outcome sequence that the large hardware
+    // history predictors could simply memorize. Microthreads are
+    // unaffected — they pre-compute the element regardless of order.
+    b.slli(R(17), R(20), 1);
+    b.addi(R(17), R(17), 1);        // stride = 2*iter + 1 (odd)
+
+    // One distinct call site per data region: each creates a
+    // distinct control-flow path into the shared helper.
+    for (int site = 0; site < spec.numSites; site++) {
+        b.li(R(10), static_cast<int64_t>(
+                        kDataBase + static_cast<uint64_t>(site) *
+                                        spec.elemsPerSite * 8));
+        b.li(R(11), spec.elemsPerSite);
+        b.jal("helper");
+    }
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "outer");
+    b.halt();
+
+    // helper(r10 = base, r11 = count, r17 = odd stride): scans the
+    // region in permuted order; the bne on each element's low bit is
+    // the shared difficult/easy branch.
+    b.label("helper");
+    b.li(R(12), 0);                 // accumulator
+    b.li(R(13), 0);                 // index
+    b.addi(R(18), R(11), -1);       // mask = count - 1
+    b.label("helper_loop");
+    b.mul(R(14), R(13), R(17));     // permuted index
+    b.and_(R(14), R(14), R(18));
+    b.slli(R(14), R(14), 3);
+    b.add(R(14), R(14), R(10));
+    b.ld(R(15), R(14), 0);          // element
+    b.andi(R(16), R(15), 1);
+    b.bne(R(16), R(0), "helper_taken");
+    b.sub(R(12), R(12), R(15));     // not-taken arm
+    b.j("helper_join");
+    b.label("helper_taken");
+    b.add(R(12), R(12), R(15));     // taken arm
+    b.label("helper_join");
+    b.addi(R(13), R(13), 1);
+    b.blt(R(13), R(11), "helper_loop");
+    b.ret();
+
+    return b.build("synthetic");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * `bzip2_2k` proxy (SPECint2000 256.bzip2): the move-to-front +
+ * run-length modelling stage over block-sorted data. Block-sorted
+ * input is bursty — long runs of the same symbol punctuated by
+ * unpredictable symbol changes — so the MTF search loop's trip count
+ * and the RLE branches are strongly path-correlated.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeBzip2_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kInput = 0x900000;
+    constexpr uint64_t kMtf = 0xa00000;     // 32-entry MTF list
+    constexpr uint64_t kOut = 0xa10000;
+    constexpr int kSyms = 6 * 1024;
+    constexpr int kAlpha = 32;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Block-sorted-like input: runs with geometric lengths over a
+    // small alphabet, with occasional high-entropy stretches.
+    std::vector<uint64_t> input;
+    input.reserve(kSyms);
+    uint64_t sym = rng.nextBelow(kAlpha);
+    int left = 1;
+    int entropy_zone = 0;
+    for (int i = 0; i < kSyms; i++) {
+        if (entropy_zone > 0) {
+            entropy_zone--;
+            input.push_back(rng.nextBelow(kAlpha));
+            continue;
+        }
+        if (--left <= 0) {
+            if (rng.chance(4)) {
+                entropy_zone = 64;
+            }
+            sym = rng.nextBelow(kAlpha);
+            left = 1;
+            while (left < 32 && rng.chance(60))
+                left++;
+        }
+        input.push_back(sym);
+    }
+    b.initWords(kInput, input);
+
+    std::vector<uint64_t> mtf;
+    for (int i = 0; i < kAlpha; i++)
+        mtf.push_back(static_cast<uint64_t>(i));
+    b.initWords(kMtf, mtf);
+
+    // r20 = pass, r21 = cursor, r22 = end, r1 = run length,
+    // r2 = previous rank, r3 = out cursor
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+    b.li(R(21), kInput);
+    b.li(R(22), kInput + kSyms * 8);
+    b.li(R(1), 0);
+    b.li(R(2), -1);
+    b.li(R(3), kOut);
+
+    b.label("loop");
+    b.ld(R(4), R(21), 0);               // symbol
+    // MTF search: find rank r such that mtf[r] == symbol.
+    b.li(R(5), 0);                      // rank
+    b.li(R(6), kMtf);
+    b.label("mtf_scan");
+    b.ld(R(7), R(6), 0);
+    b.beq(R(7), R(4), "mtf_found");
+    b.addi(R(5), R(5), 1);
+    b.addi(R(6), R(6), 8);
+    b.j("mtf_scan");
+    b.label("mtf_found");
+    // Move to front: shift mtf[0..rank-1] down one slot.
+    b.li(R(8), kMtf);
+    b.label("mtf_shift");
+    b.beq(R(6), R(8), "mtf_done");
+    b.ld(R(9), R(6), -8);
+    b.st(R(9), R(6), 0);
+    b.addi(R(6), R(6), -8);
+    b.j("mtf_shift");
+    b.label("mtf_done");
+    b.st(R(4), R(8), 0);                // mtf[0] = symbol
+
+    // RLE of rank-0 symbols: the bzip2 signature branch.
+    b.bne(R(5), R(0), "rle_break");
+    b.addi(R(1), R(1), 1);
+    b.j("next");
+    b.label("rle_break");
+    // Emit pending zero-run (two-symbol encoding if long).
+    b.beq(R(1), R(0), "no_run");
+    b.slti(R(9), R(1), 4);
+    b.beq(R(9), R(0), "long_run");
+    b.st(R(1), R(3), 0);
+    b.addi(R(3), R(3), 8);
+    b.j("no_run");
+    b.label("long_run");
+    b.andi(R(9), R(1), 1);
+    b.st(R(9), R(3), 0);
+    b.srli(R(10), R(1), 1);
+    b.st(R(10), R(3), 8);
+    b.addi(R(3), R(3), 16);
+    b.label("no_run");
+    b.li(R(1), 0);
+    // Emit the rank, delta-coded against the previous rank.
+    b.sub(R(9), R(5), R(2));
+    b.st(R(9), R(3), 0);
+    b.addi(R(3), R(3), 8);
+    b.mv(R(2), R(5));
+
+    b.label("next");
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "loop");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("bzip2_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * `comp` proxy (SPECint95 129.compress): run-length/adaptive-model
+ * compression over a byte stream. The stream alternates runs of
+ * repeated symbols with noisy sections, so "does the run continue?"
+ * is easy on some paths and data-dependent on others — exactly the
+ * path-correlated predictability the mechanism targets.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeCompress(const WorkloadParams &p)
+{
+    constexpr uint64_t kInput = 0x10000;
+    constexpr uint64_t kCodeTable = 0x80000;
+    constexpr uint64_t kOutput = 0xa0000;
+    constexpr int kElems = 8 * 1024;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Input: alternating smooth (long runs) and noisy sections.
+    std::vector<uint64_t> input;
+    input.reserve(kElems);
+    uint64_t symbol = rng.nextBelow(256);
+    bool noisy = false;
+    int section_left = 2048;
+    int run_left = 1;
+    for (int i = 0; i < kElems; i++) {
+        if (--section_left <= 0) {
+            noisy = !noisy;
+            section_left = noisy ? 1024 : 2048;
+        }
+        if (--run_left <= 0) {
+            symbol = rng.nextBelow(256);
+            run_left = noisy ? 1 + static_cast<int>(rng.nextBelow(2))
+                             : 4 + static_cast<int>(rng.nextBelow(12));
+        }
+        input.push_back(symbol);
+    }
+    b.initWords(kInput, input);
+
+    // Length-to-code table.
+    std::vector<uint64_t> codes;
+    for (int i = 0; i < 64; i++)
+        codes.push_back(rng.nextBelow(1 << 16));
+    b.initWords(kCodeTable, codes);
+
+    // r20 = pass counter, r21 = input cursor, r22 = end
+    // r1 = prev symbol, r2 = run length, r3 = model hash, r4 = out ptr
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), kInput);
+    b.li(R(22), kInput + kElems * 8);
+    b.li(R(1), -1);
+    b.li(R(2), 0);
+    b.li(R(3), 0x9e37);
+    b.li(R(4), kOutput);
+
+    b.label("loop");
+    b.ld(R(5), R(21), 0);               // cur = *cursor
+    // Adaptive model hash update (compute between branches).
+    b.slli(R(6), R(3), 3);
+    b.xor_(R(3), R(6), R(5));
+    b.andi(R(3), R(3), 0xffff);
+    // The difficult branch: does the run continue?
+    b.bne(R(5), R(1), "run_break");
+    b.addi(R(2), R(2), 1);              // run continues
+    b.j("next");
+    b.label("run_break");
+    // Flush: long runs emit a table code, short runs emit literals.
+    b.slti(R(7), R(2), 4);
+    b.bne(R(7), R(0), "emit_literal");
+    b.andi(R(8), R(2), 63);
+    b.slli(R(8), R(8), 3);
+    b.li(R(9), kCodeTable);
+    b.add(R(8), R(8), R(9));
+    b.ld(R(9), R(8), 0);                // code = table[len]
+    b.xor_(R(9), R(9), R(1));
+    b.st(R(9), R(4), 0);
+    b.j("flush_done");
+    b.label("emit_literal");
+    b.st(R(1), R(4), 0);
+    b.label("flush_done");
+    b.addi(R(4), R(4), 8);
+    b.mv(R(1), R(5));                   // prev = cur
+    b.li(R(2), 1);
+    b.label("next");
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "loop");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("comp");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * `crafty_2k` proxy (SPECint2000 186.crafty): bitboard chess engine
+ * inner loops — LSB-extraction move generation (data-dependent trip
+ * counts), capture filtering, and a material/mobility evaluation
+ * whose branches follow the position. 64-bit logical operations
+ * dominate, as in the real program.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeCrafty_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kPositions = 0xb00000;   // 4 bitboards each
+    constexpr uint64_t kPieceVal = 0xb80000;    // value table
+    constexpr int kNumPos = 800;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Positions: {own_pieces, enemy_pieces, own_attacks, weights}.
+    // Sparse boards (midgame-like popcounts of 10-16).
+    std::vector<uint64_t> positions;
+    positions.reserve(kNumPos * 4);
+    for (int i = 0; i < kNumPos; i++) {
+        uint64_t own = 0;
+        uint64_t enemy = 0;
+        uint64_t attacks = 0;
+        for (int n = 0; n < 13; n++) {
+            own |= 1ull << rng.nextBelow(64);
+            enemy |= 1ull << rng.nextBelow(64);
+            attacks |= 1ull << rng.nextBelow(64);
+        }
+        enemy &= ~own;
+        positions.push_back(own);
+        positions.push_back(enemy);
+        positions.push_back(attacks);
+        positions.push_back(rng.next());
+    }
+    b.initWords(kPositions, positions);
+
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 64; i++)
+        values.push_back(1 + rng.nextBelow(9));
+    b.initWords(kPieceVal, values);
+
+    // r20 = pass, r21 = position cursor, r22 = end, r1 = score
+    b.li(R(20), static_cast<int64_t>(p.scale));
+    b.label("pass");
+    b.li(R(21), kPositions);
+    b.li(R(22), kPositions + kNumPos * 4 * 8);
+    b.li(R(1), 0);
+
+    b.label("position");
+    b.ld(R(2), R(21), 0);               // own
+    b.ld(R(3), R(21), 8);               // enemy
+    b.ld(R(4), R(21), 16);              // attacks
+
+    // Move generation: iterate set bits of own via LSB extraction.
+    b.mv(R(5), R(2));
+    b.label("gen_loop");
+    b.beq(R(5), R(0), "gen_done");
+    // lsb = bits & -bits; square = popcount-ish index via de Bruijn
+    // substitute: count trailing zeros with a shift loop on the low
+    // byte (bounded) to keep the generator honest about work.
+    b.sub(R(6), R(0), R(5));
+    b.and_(R(6), R(5), R(6));           // isolated LSB
+    // square index: linear scan of 8-bit windows.
+    b.li(R(7), 0);                      // square
+    b.mv(R(8), R(6));
+    b.label("ctz_loop");
+    b.andi(R(9), R(8), 0xff);
+    b.bne(R(9), R(0), "ctz_fine");
+    b.srli(R(8), R(8), 8);
+    b.addi(R(7), R(7), 8);
+    b.j("ctz_loop");
+    b.label("ctz_fine");
+    b.andi(R(9), R(8), 1);
+    b.bne(R(9), R(0), "ctz_done");
+    b.srli(R(8), R(8), 1);
+    b.addi(R(7), R(7), 1);
+    b.j("ctz_fine");
+    b.label("ctz_done");
+
+    // Capture test: does this piece attack an enemy? (positional)
+    b.and_(R(9), R(6), R(4));
+    b.beq(R(9), R(0), "quiet_move");
+    // Capture: score by the victim square's value.
+    b.slli(R(10), R(7), 3);
+    b.li(R(11), kPieceVal);
+    b.add(R(10), R(10), R(11));
+    b.ld(R(12), R(10), 0);
+    b.add(R(1), R(1), R(12));
+    // Winning capture? (value vs mobility, data-dependent)
+    b.slti(R(13), R(12), 5);
+    b.beq(R(13), R(0), "clear_bit");
+    b.addi(R(1), R(1), 2);
+    b.j("clear_bit");
+    b.label("quiet_move");
+    // Quiet move: small mobility bonus when not enemy-contested.
+    b.and_(R(9), R(6), R(3));
+    b.bne(R(9), R(0), "clear_bit");
+    b.addi(R(1), R(1), 1);
+    b.label("clear_bit");
+    b.xor_(R(5), R(5), R(6));           // clear the processed bit
+    b.j("gen_loop");
+    b.label("gen_done");
+
+    // Evaluation: king-safety-ish branch on attack density.
+    b.and_(R(6), R(3), R(4));
+    b.srli(R(7), R(6), 32);
+    b.xor_(R(6), R(6), R(7));
+    b.andi(R(6), R(6), 0xff);
+    b.slti(R(8), R(6), 0x40);
+    b.bne(R(8), R(0), "safe");
+    b.addi(R(1), R(1), -3);
+    b.label("safe");
+
+    b.addi(R(21), R(21), 32);
+    b.blt(R(21), R(22), "position");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("crafty_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * `eon_2k` proxy (SPECint2000 252.eon): a probabilistic ray tracer's
+ * inner loop — ray/sphere intersection tests dominated by integer
+ * multiply chains, with highly biased branches (most rays miss most
+ * spheres). eon is the paper's "well-behaved" benchmark that loses
+ * slightly under microthreading: branches are already predictable,
+ * so microthread overhead has nothing to pay for itself with.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeEon_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kRays = 0xc00000;    // {ox, oy, dx, dy} each
+    constexpr uint64_t kSpheres = 0xc80000; // {cx, cy, r2} each
+    constexpr int kNumRays = 800;
+    constexpr int kNumSpheres = 10;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Fixed-point 16.8 coordinates in a 256x256 scene.
+    std::vector<uint64_t> rays;
+    for (int i = 0; i < kNumRays; i++) {
+        rays.push_back(rng.nextBelow(256 << 8));
+        rays.push_back(rng.nextBelow(256 << 8));
+        rays.push_back(rng.nextBelow(512) + 1);
+        rays.push_back(rng.nextBelow(512) + 1);
+    }
+    b.initWords(kRays, rays);
+
+    std::vector<uint64_t> spheres;
+    for (int i = 0; i < kNumSpheres; i++) {
+        spheres.push_back(rng.nextBelow(256 << 8));
+        spheres.push_back(rng.nextBelow(256 << 8));
+        spheres.push_back((8 << 8) + rng.nextBelow(16 << 8));
+    }
+    b.initWords(kSpheres, spheres);
+
+    // r20 = pass, r21 = ray cursor, r22 = end, r1 = hit accumulator
+    b.li(R(20), static_cast<int64_t>(p.scale));
+    b.label("pass");
+    b.li(R(21), kRays);
+    b.li(R(22), kRays + kNumRays * 4 * 8);
+    b.li(R(1), 0);
+
+    b.label("ray");
+    b.ld(R(2), R(21), 0);               // ox
+    b.ld(R(3), R(21), 8);               // oy
+    b.ld(R(4), R(21), 16);              // dx
+    b.ld(R(5), R(21), 24);              // dy
+
+    // March the ray a fixed number of steps; test all spheres.
+    b.li(R(6), 4);                      // steps
+    b.label("march");
+    b.add(R(2), R(2), R(4));
+    b.add(R(3), R(3), R(5));
+
+    b.li(R(7), kSpheres);
+    b.li(R(8), kNumSpheres);
+    b.label("sphere");
+    b.ld(R(9), R(7), 0);                // cx
+    b.ld(R(10), R(7), 8);               // cy
+    b.ld(R(11), R(7), 16);              // r^2 (16.8)
+    b.sub(R(12), R(2), R(9));
+    b.sub(R(13), R(3), R(10));
+    b.mul(R(12), R(12), R(12));
+    b.mul(R(13), R(13), R(13));
+    b.add(R(12), R(12), R(13));
+    b.srli(R(12), R(12), 8);            // back to 16.8
+    // Biased branch: almost every test misses.
+    b.bltu(R(12), R(11), "hit");
+    b.label("resume");
+    b.addi(R(7), R(7), 24);
+    b.addi(R(8), R(8), -1);
+    b.bne(R(8), R(0), "sphere");
+
+    b.addi(R(6), R(6), -1);
+    b.bne(R(6), R(0), "march");
+    b.j("next_ray");
+
+    b.label("hit");
+    // Shade: cheap diffuse-ish term, then continue the scan.
+    b.srli(R(13), R(12), 4);
+    b.add(R(1), R(1), R(13));
+    b.j("resume");
+
+    b.label("next_ray");
+    b.addi(R(21), R(21), 32);
+    b.blt(R(21), R(22), "ray");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("eon_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * `gap_2k` proxy (SPECint2000 254.gap): computer-algebra kernels —
+ * multi-word (bignum) addition whose carry branches follow the
+ * operand bits, and a binary-GCD loop with data-dependent
+ * shift/subtract decisions. Carries are the classic ~50%% branch
+ * that hardware predictors cannot learn but a microthread can
+ * simply compute.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeGap_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kNums = 0xd00000;    // bignum pool, 8 limbs ea
+    constexpr uint64_t kAcc = 0xd80000;     // 9-limb accumulator
+    constexpr uint64_t kGcdArgs = 0xd90000;
+    constexpr int kLimbs = 8;
+    constexpr int kNumBignums = 512;
+    constexpr int kGcdPairs = 500;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    std::vector<uint64_t> nums;
+    for (int i = 0; i < kNumBignums * kLimbs; i++)
+        nums.push_back(rng.next());
+    b.initWords(kNums, nums);
+    b.initWords(kAcc, std::vector<uint64_t>(kLimbs + 1, 0));
+
+    std::vector<uint64_t> gcd_args;
+    for (int i = 0; i < kGcdPairs * 2; i++)
+        gcd_args.push_back(rng.nextBelow(1 << 24) + 1);
+    b.initWords(kGcdArgs, gcd_args);
+
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+
+    // ---- Bignum accumulation: acc += nums[i], limb by limb ----
+    b.li(R(21), kNums);
+    b.li(R(22), kNums + kNumBignums * kLimbs * 8);
+    b.label("bignum");
+    b.li(R(1), kAcc);
+    b.li(R(2), 0);                      // carry
+    b.li(R(3), kLimbs);
+    b.label("limb");
+    b.ld(R(4), R(1), 0);                // acc limb
+    b.ld(R(5), R(21), 0);               // operand limb
+    b.add(R(6), R(4), R(5));
+    b.add(R(6), R(6), R(2));            // + carry-in
+    b.st(R(6), R(1), 0);
+    // Carry-out: sum < operand (unsigned) — the data branch.
+    b.bltu(R(6), R(5), "carry_set");
+    b.li(R(2), 0);
+    b.j("limb_next");
+    b.label("carry_set");
+    b.li(R(2), 1);
+    b.label("limb_next");
+    b.addi(R(1), R(1), 8);
+    b.addi(R(21), R(21), 8);
+    b.addi(R(3), R(3), -1);
+    b.bne(R(3), R(0), "limb");
+    // Fold final carry into the guard limb.
+    b.ld(R(4), R(1), 0);
+    b.add(R(4), R(4), R(2));
+    b.st(R(4), R(1), 0);
+    b.blt(R(21), R(22), "bignum");
+
+    // ---- Binary GCD over the pair list ----
+    b.li(R(21), kGcdArgs);
+    b.li(R(22), kGcdArgs + kGcdPairs * 2 * 8);
+    b.label("gcd_pair");
+    b.ld(R(4), R(21), 0);               // u
+    b.ld(R(5), R(21), 8);               // v
+    b.label("gcd_loop");
+    b.beq(R(5), R(0), "gcd_done");
+    // Strip factors of two from v (data-dependent inner loop).
+    b.label("strip");
+    b.andi(R(6), R(5), 1);
+    b.bne(R(6), R(0), "stripped");
+    b.srli(R(5), R(5), 1);
+    b.j("strip");
+    b.label("stripped");
+    // Order u <= v, then v -= u.
+    b.bgeu(R(5), R(4), "ordered");
+    b.xor_(R(4), R(4), R(5));
+    b.xor_(R(5), R(4), R(5));
+    b.xor_(R(4), R(4), R(5));
+    b.label("ordered");
+    b.sub(R(5), R(5), R(4));
+    b.j("gcd_loop");
+    b.label("gcd_done");
+    b.addi(R(21), R(21), 16);
+    b.blt(R(21), R(22), "gcd_pair");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("gap_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * `gcc` / `gcc_2k` proxies (SPECint 126.gcc / 176.gcc): a compiler
+ * middle-end pass over a stream of IR records, dispatched through a
+ * jump table (indirect branches) into many small handlers full of
+ * conditional tests on operand fields. gcc is the classic
+ * "thousands of static branches, path-dependent behaviour"
+ * benchmark; the proxy gets its path structure from the opcode
+ * sequence leading into each shared handler.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+namespace
+{
+
+/**
+ * @param num_ops     opcodes (= handlers = jump-table entries)
+ * @param num_records IR records per pass
+ */
+isa::Program
+makeGccLike(const char *name, int num_ops, int num_records,
+            const WorkloadParams &p)
+{
+    constexpr uint64_t kIr = 0x20000;       // IR records
+    constexpr uint64_t kJumpTable = 0x100000;
+    constexpr uint64_t kVregs = 0x110000;   // virtual register file
+    constexpr uint64_t kConstPool = 0x120000;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // IR records: opcode | (srcA vreg) | (srcB vreg) | literal, in
+    // bursts that imitate basic-block idioms (same few opcodes in a
+    // row), so the path into a handler carries real information.
+    std::vector<uint64_t> ir;
+    ir.reserve(num_records);
+    int burst_op = 0;
+    int burst_left = 0;
+    for (int i = 0; i < num_records; i++) {
+        if (--burst_left <= 0) {
+            burst_op = static_cast<int>(rng.nextBelow(num_ops));
+            burst_left = 1 + static_cast<int>(rng.nextBelow(6));
+        }
+        uint64_t rec = static_cast<uint64_t>(burst_op);
+        rec |= rng.nextBelow(16) << 8;      // srcA
+        rec |= rng.nextBelow(16) << 16;     // srcB
+        rec |= rng.nextBelow(1 << 12) << 24;
+        ir.push_back(rec);
+    }
+    b.initWords(kIr, ir);
+
+    // Virtual register file and constant pool.
+    std::vector<uint64_t> vregs;
+    for (int i = 0; i < 16; i++)
+        vregs.push_back(rng.nextBelow(1 << 20));
+    b.initWords(kVregs, vregs);
+    std::vector<uint64_t> pool;
+    for (int i = 0; i < 64; i++)
+        pool.push_back(rng.nextBelow(1 << 20));
+    b.initWords(kConstPool, pool);
+
+    // Jump table: handler label pcs.
+    for (int op = 0; op < num_ops; op++)
+        b.initWordLabel(kJumpTable + 8 * op,
+                        "handler" + std::to_string(op % 8));
+
+    // r20 = pass counter, r21 = record cursor, r22 = end
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+    b.li(R(21), kIr);
+    b.li(R(22), kIr + static_cast<uint64_t>(num_records) * 8);
+
+    b.label("loop");
+    b.ld(R(1), R(21), 0);               // record
+    b.andi(R(2), R(1), 0xff);           // opcode
+    b.srli(R(3), R(1), 8);
+    b.andi(R(3), R(3), 0xf);            // srcA index
+    b.srli(R(4), R(1), 16);
+    b.andi(R(4), R(4), 0xf);            // srcB index
+    b.srli(R(5), R(1), 24);             // literal
+    // a = vreg[srcA]; bb = vreg[srcB]
+    b.li(R(9), kVregs);
+    b.slli(R(6), R(3), 3);
+    b.add(R(6), R(6), R(9));
+    b.ld(R(7), R(6), 0);                // a
+    b.slli(R(6), R(4), 3);
+    b.add(R(6), R(6), R(9));
+    b.ld(R(8), R(6), 0);                // bb
+    // dispatch: jr jump_table[opcode]
+    b.li(R(10), kJumpTable);
+    b.slli(R(11), R(2), 3);
+    b.add(R(10), R(10), R(11));
+    b.ld(R(11), R(10), 0);
+    b.jr(R(11));
+
+    // handler0: constant folding test (data-dependent equality)
+    b.label("handler0");
+    b.beq(R(7), R(8), "h0_fold");
+    b.add(R(12), R(7), R(8));
+    b.j("writeback");
+    b.label("h0_fold");
+    b.slli(R(12), R(7), 1);
+    b.j("writeback");
+
+    // handler1: sign test on a
+    b.label("handler1");
+    b.blt(R(7), R(0), "h1_neg");
+    b.sub(R(12), R(7), R(5));
+    b.j("writeback");
+    b.label("h1_neg");
+    b.sub(R(12), R(5), R(7));
+    b.j("writeback");
+
+    // handler2: range check against the literal (hard when the
+    // operands hover near the threshold)
+    b.label("handler2");
+    b.slli(R(13), R(5), 8);
+    b.bltu(R(7), R(13), "h2_in");
+    b.li(R(12), 0);
+    b.j("writeback");
+    b.label("h2_in");
+    b.xor_(R(12), R(7), R(8));
+    b.j("writeback");
+
+    // handler3: strength reduction (low-bits test)
+    b.label("handler3");
+    b.andi(R(13), R(8), 7);
+    b.bne(R(13), R(0), "h3_odd");
+    b.srai(R(12), R(8), 3);
+    b.j("writeback");
+    b.label("h3_odd");
+    b.mul(R(12), R(7), R(8));
+    b.j("writeback");
+
+    // handler4: constant-pool lookup with bias
+    b.label("handler4");
+    b.andi(R(13), R(7), 63);
+    b.slli(R(13), R(13), 3);
+    b.li(R(14), kConstPool);
+    b.add(R(13), R(13), R(14));
+    b.ld(R(12), R(13), 0);
+    b.bgeu(R(12), R(7), "writeback");
+    b.add(R(12), R(12), R(5));
+    b.j("writeback");
+
+    // handler5: min(a, bb)
+    b.label("handler5");
+    b.blt(R(7), R(8), "h5_a");
+    b.mv(R(12), R(8));
+    b.j("writeback");
+    b.label("h5_a");
+    b.mv(R(12), R(7));
+    b.j("writeback");
+
+    // handler6: parity chain
+    b.label("handler6");
+    b.xor_(R(12), R(7), R(8));
+    b.srli(R(13), R(12), 1);
+    b.xor_(R(12), R(12), R(13));
+    b.andi(R(13), R(12), 1);
+    b.beq(R(13), R(0), "writeback");
+    b.addi(R(12), R(12), 1);
+    b.j("writeback");
+
+    // handler7: saturating add
+    b.label("handler7");
+    b.add(R(12), R(7), R(8));
+    b.li(R(13), 1 << 20);
+    b.blt(R(12), R(13), "writeback");
+    b.mv(R(12), R(13));
+    b.j("writeback");
+
+    // writeback: vreg[srcA] = result (keeps the file evolving)
+    b.label("writeback");
+    b.li(R(9), kVregs);
+    b.slli(R(6), R(3), 3);
+    b.add(R(6), R(6), R(9));
+    b.st(R(12), R(6), 0);
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "loop");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build(name);
+}
+
+} // namespace
+
+isa::Program
+makeGcc(const WorkloadParams &p)
+{
+    return makeGccLike("gcc", 24, 6 * 1024, p);
+}
+
+isa::Program
+makeGcc_2k(const WorkloadParams &p)
+{
+    WorkloadParams p2 = p;
+    p2.seed = p.seed ^ 0x17600;
+    return makeGccLike("gcc_2k", 48, 7 * 1024, p2);
+}
+
+} // namespace workloads
+} // namespace ssmt

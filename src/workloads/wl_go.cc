@@ -1,0 +1,151 @@
+/**
+ * @file
+ * `go` proxy (SPECint95 099.go): board evaluation for a territory
+ * game. Each considered move examines its neighbourhood on a 19x19
+ * board with colour-comparison branches whose outcomes depend on the
+ * evolving position — go is the least predictable SPECint95 member,
+ * and this proxy inherits that through stone-pattern-dependent
+ * control flow reached from several distinct evaluation sites.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeGo(const WorkloadParams &p)
+{
+    constexpr int kSize = 19;
+    constexpr uint64_t kBoard = 0x30000;        // 19*19 stones
+    constexpr uint64_t kMoves = 0x40000;        // move list
+    constexpr int kMoves_n = 6000;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Board: 0 empty, 1 black, 2 white; clustered stones so
+    // neighbourhood tests correlate with region.
+    std::vector<uint64_t> board(kSize * kSize, 0);
+    for (int cluster = 0; cluster < 24; cluster++) {
+        int cx = 1 + static_cast<int>(rng.nextBelow(kSize - 2));
+        int cy = 1 + static_cast<int>(rng.nextBelow(kSize - 2));
+        uint64_t colour = 1 + rng.nextBelow(2);
+        for (int d = 0; d < 6; d++) {
+            int x = cx + static_cast<int>(rng.nextBelow(3)) - 1;
+            int y = cy + static_cast<int>(rng.nextBelow(3)) - 1;
+            if (x >= 0 && x < kSize && y >= 0 && y < kSize)
+                board[y * kSize + x] = colour;
+        }
+    }
+    b.initWords(kBoard, board);
+
+    // Moves: interior points (so neighbour loads stay in range).
+    std::vector<uint64_t> moves;
+    for (int i = 0; i < kMoves_n; i++) {
+        int x = 1 + static_cast<int>(rng.nextBelow(kSize - 2));
+        int y = 1 + static_cast<int>(rng.nextBelow(kSize - 2));
+        moves.push_back(static_cast<uint64_t>(y * kSize + x));
+    }
+    b.initWords(kMoves, moves);
+
+    // r20 = pass, r21 = move cursor, r22 = end, r1 = score
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), kMoves);
+    b.li(R(22), kMoves + kMoves_n * 8);
+    b.li(R(1), 0);
+
+    b.label("move_loop");
+    b.ld(R(2), R(21), 0);               // point index
+    b.slli(R(3), R(2), 3);
+    b.li(R(4), kBoard);
+    b.add(R(3), R(3), R(4));            // &board[point]
+    b.ld(R(5), R(3), 0);                // stone at point
+    // Occupied points are skipped (difficulty depends on clusters).
+    b.bne(R(5), R(0), "occupied");
+
+    // Evaluate the four neighbours as prospective black move:
+    // liberties (empty), friends (black), enemies (white).
+    b.li(R(6), 0);                      // liberties
+    b.li(R(7), 0);                      // friends
+    // north
+    b.ld(R(8), R(3), -static_cast<int64_t>(kSize) * 8);
+    b.bne(R(8), R(0), "n_stone");
+    b.addi(R(6), R(6), 1);
+    b.j("n_done");
+    b.label("n_stone");
+    b.slti(R(9), R(8), 2);              // 1 = black
+    b.add(R(7), R(7), R(9));
+    b.label("n_done");
+    // south
+    b.ld(R(8), R(3), static_cast<int64_t>(kSize) * 8);
+    b.bne(R(8), R(0), "s_stone");
+    b.addi(R(6), R(6), 1);
+    b.j("s_done");
+    b.label("s_stone");
+    b.slti(R(9), R(8), 2);
+    b.add(R(7), R(7), R(9));
+    b.label("s_done");
+    // west
+    b.ld(R(8), R(3), -8);
+    b.bne(R(8), R(0), "w_stone");
+    b.addi(R(6), R(6), 1);
+    b.j("w_done");
+    b.label("w_stone");
+    b.slti(R(9), R(8), 2);
+    b.add(R(7), R(7), R(9));
+    b.label("w_done");
+    // east
+    b.ld(R(8), R(3), 8);
+    b.bne(R(8), R(0), "e_stone");
+    b.addi(R(6), R(6), 1);
+    b.j("e_done");
+    b.label("e_stone");
+    b.slti(R(9), R(8), 2);
+    b.add(R(7), R(7), R(9));
+    b.label("e_done");
+
+    // Suicide test: no liberties and no friendly support.
+    b.bne(R(6), R(0), "playable");
+    b.bne(R(7), R(0), "playable");
+    b.addi(R(1), R(1), -1);
+    b.j("advance");
+    b.label("playable");
+    // Play heuristic: prefer 2+ liberties (data-dependent).
+    b.slti(R(9), R(6), 2);
+    b.bne(R(9), R(0), "weak");
+    b.slli(R(10), R(6), 1);
+    b.add(R(1), R(1), R(10));
+    // Occasionally place the stone, mutating the board.
+    b.andi(R(10), R(1), 15);
+    b.bne(R(10), R(0), "advance");
+    b.li(R(11), 1);
+    b.st(R(11), R(3), 0);
+    b.j("advance");
+    b.label("weak");
+    b.add(R(1), R(1), R(7));
+    b.j("advance");
+
+    b.label("occupied");
+    b.addi(R(1), R(1), 1);
+
+    b.label("advance");
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "move_loop");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("go");
+}
+
+} // namespace workloads
+} // namespace ssmt

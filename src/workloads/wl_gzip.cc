@@ -1,0 +1,131 @@
+/**
+ * @file
+ * `gzip_2k` proxy (SPECint2000 164.gzip): LZ77 deflation — hash-head
+ * candidate lookup, a data-dependent match-length loop, and the
+ * literal/match emit decision. Compressible sections make matches
+ * long and the emit branch biased; incompressible sections turn the
+ * same branches into coin flips, giving strong path correlation.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeGzip_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kInput = 0xe00000;
+    constexpr uint64_t kHashHead = 0xf00000;    // 1K-entry hash heads
+    constexpr uint64_t kOut = 0xf40000;
+    constexpr int kBytes = 8 * 1024;
+    constexpr int kHashSize = 1024;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Input: repeated phrases (compressible) with noisy stretches.
+    std::vector<uint64_t> input;
+    input.reserve(kBytes);
+    std::vector<uint64_t> phrase;
+    for (int i = 0; i < 24; i++)
+        phrase.push_back(rng.nextBelow(64));
+    bool noisy = false;
+    int section = 1200;
+    while (static_cast<int>(input.size()) < kBytes) {
+        if (--section <= 0) {
+            noisy = !noisy;
+            section = noisy ? 500 : 1200;
+        }
+        if (noisy) {
+            input.push_back(rng.nextBelow(256));
+        } else {
+            size_t off = rng.nextBelow(8);
+            for (size_t i = off;
+                 i < phrase.size() &&
+                 static_cast<int>(input.size()) < kBytes;
+                 i++) {
+                input.push_back(phrase[i]);
+            }
+        }
+    }
+    b.initWords(kInput, input);
+    b.initWords(kHashHead, std::vector<uint64_t>(kHashSize, 0));
+
+    // r20 = pass, r21 = position (index), r22 = limit, r3 = out ptr
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), 8);                     // start past one element
+    b.li(R(22), kBytes - 40);           // room for match loop
+    b.li(R(3), kOut);
+
+    b.label("deflate");
+    // addr = kInput + pos * 8
+    b.slli(R(1), R(21), 3);
+    b.li(R(2), kInput);
+    b.add(R(1), R(1), R(2));
+    // hash = (s[0]*33 + s[1]) & 1023
+    b.ld(R(4), R(1), 0);
+    b.ld(R(5), R(1), 8);
+    b.slli(R(6), R(4), 5);
+    b.add(R(6), R(6), R(4));
+    b.add(R(6), R(6), R(5));
+    b.andi(R(6), R(6), kHashSize - 1);
+    b.slli(R(6), R(6), 3);
+    b.li(R(7), kHashHead);
+    b.add(R(6), R(6), R(7));            // &head[hash]
+    b.ld(R(8), R(6), 0);                // candidate position
+    b.st(R(21), R(6), 0);               // head[hash] = pos
+
+    // No candidate or self-match: emit a literal.
+    b.beq(R(8), R(0), "literal");
+    b.bgeu(R(8), R(21), "literal");
+
+    // Match-length loop (bounded to 16, data-dependent trips).
+    b.slli(R(9), R(8), 3);
+    b.add(R(9), R(9), R(2));            // candidate address
+    b.li(R(10), 0);                     // length
+    b.label("match_len");
+    b.ld(R(11), R(1), 0);
+    b.ld(R(12), R(9), 0);
+    b.bne(R(11), R(12), "match_end");
+    b.addi(R(10), R(10), 1);
+    b.addi(R(1), R(1), 8);
+    b.addi(R(9), R(9), 8);
+    b.slti(R(13), R(10), 16);
+    b.bne(R(13), R(0), "match_len");
+    b.label("match_end");
+    // Emit decision: matches of >= 3 win over literals.
+    b.slti(R(13), R(10), 3);
+    b.bne(R(13), R(0), "literal");
+    // Emit (distance, length); skip the matched span.
+    b.sub(R(14), R(21), R(8));
+    b.st(R(14), R(3), 0);
+    b.st(R(10), R(3), 8);
+    b.addi(R(3), R(3), 16);
+    b.add(R(21), R(21), R(10));
+    b.j("advance");
+
+    b.label("literal");
+    b.st(R(4), R(3), 0);
+    b.addi(R(3), R(3), 8);
+    b.addi(R(21), R(21), 1);
+
+    b.label("advance");
+    b.blt(R(21), R(22), "deflate");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("gzip_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

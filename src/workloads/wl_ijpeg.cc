@@ -1,0 +1,110 @@
+/**
+ * @file
+ * `ijpeg` proxy (SPECint95 132.ijpeg): image compression passes over
+ * a 128x128 image — quantization with clamping and an edge detector.
+ * Smooth regions make the clamps and edge tests highly biased;
+ * textured regions make the *same static branches* difficult, giving
+ * clean path-versus-branch separation.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeIjpeg(const WorkloadParams &p)
+{
+    constexpr int kDim = 96;
+    constexpr uint64_t kImage = 0x50000;
+    constexpr uint64_t kOut = 0x90000;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Image: smooth gradient with textured square patches.
+    std::vector<uint64_t> image(kDim * kDim);
+    for (int y = 0; y < kDim; y++)
+        for (int x = 0; x < kDim; x++)
+            image[y * kDim + x] = static_cast<uint64_t>(x + y);
+    for (int patch = 0; patch < 10; patch++) {
+        int px = static_cast<int>(rng.nextBelow(kDim - 16));
+        int py = static_cast<int>(rng.nextBelow(kDim - 16));
+        for (int y = py; y < py + 16; y++)
+            for (int x = px; x < px + 16; x++)
+                image[y * kDim + x] = rng.nextBelow(256);
+    }
+    b.initWords(kImage, image);
+
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+
+    // ---- Quantization pass: out = clamp((pix * 7) >> 3, 16, 235)
+    b.li(R(21), kImage);
+    b.li(R(22), kImage + kDim * kDim * 8);
+    b.li(R(23), kOut);
+    b.label("quant_loop");
+    b.ld(R(1), R(21), 0);
+    b.slli(R(2), R(1), 3);
+    b.sub(R(2), R(2), R(1));            // pix * 7
+    b.srli(R(2), R(2), 3);
+    b.slti(R(3), R(2), 16);
+    b.beq(R(3), R(0), "q_not_low");
+    b.li(R(2), 16);
+    b.j("q_store");
+    b.label("q_not_low");
+    b.slti(R(3), R(2), 236);
+    b.bne(R(3), R(0), "q_store");
+    b.li(R(2), 235);
+    b.label("q_store");
+    b.st(R(2), R(23), 0);
+    b.addi(R(23), R(23), 8);
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "quant_loop");
+
+    // ---- Edge pass: |pix - east| > 8 ? edge : smooth
+    b.li(R(1), 0);                      // edge count
+    b.li(R(24), 0);                     // row
+    b.label("edge_rows");
+    b.li(R(25), 0);                     // col (stop at kDim-1)
+    b.label("edge_cols");
+    b.li(R(3), kDim);
+    b.mul(R(2), R(24), R(3));
+    b.add(R(2), R(2), R(25));
+    b.slli(R(2), R(2), 3);
+    b.li(R(3), kImage);
+    b.add(R(2), R(2), R(3));
+    b.ld(R(4), R(2), 0);                // pix
+    b.ld(R(5), R(2), 8);                // east neighbour
+    b.sub(R(6), R(4), R(5));
+    b.blt(R(6), R(0), "abs_neg");
+    b.j("abs_done");
+    b.label("abs_neg");
+    b.sub(R(6), R(0), R(6));
+    b.label("abs_done");
+    b.slti(R(7), R(6), 9);
+    b.bne(R(7), R(0), "smooth");        // biased in gradient regions
+    b.addi(R(1), R(1), 1);
+    b.label("smooth");
+    b.addi(R(25), R(25), 1);
+    b.li(R(8), kDim - 1);
+    b.blt(R(25), R(8), "edge_cols");
+    b.addi(R(24), R(24), 1);
+    b.li(R(8), kDim);
+    b.blt(R(24), R(8), "edge_rows");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("ijpeg");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * `li` proxy (SPECint95 130.li, the xlisp interpreter): a stack
+ * bytecode evaluator dispatching through a jump table. The CONDSKIP
+ * opcode branches on evaluated data — the interpreter idiom where a
+ * single dispatch site is reached along many expression-shaped paths
+ * with very different behaviour.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeLi(const WorkloadParams &p)
+{
+    constexpr uint64_t kCode = 0x60000;     // bytecode stream
+    constexpr uint64_t kStack = 0x100000;   // operand stack
+    constexpr uint64_t kEnv = 0x140000;     // variable slots
+    constexpr uint64_t kDispatch = 0x148000;
+    constexpr int kOps = 10000;
+
+    enum BytecodeOp : uint64_t
+    {
+        OpPush = 0, OpAdd = 1, OpSub = 2, OpDup = 3, OpCondSkip = 4,
+        OpLoad = 5, OpStore = 6, OpXor = 7, kNumOps = 8
+    };
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Bytecode: expression-shaped bursts ending in stores; CONDSKIP
+    // consumes a value, making its direction data-dependent.
+    std::vector<uint64_t> code;
+    code.reserve(kOps);
+    int depth = 0;      // track stack depth so the stream is valid
+    uint64_t prev_op = OpPush;
+    for (int i = 0; i < kOps - 1; i++) {
+        uint64_t op;
+        if (depth < 2) {
+            op = rng.chance(70) ? OpPush : OpLoad;
+        } else if (depth > 12) {
+            op = rng.chance(50) ? OpStore : OpCondSkip;
+        } else if (rng.chance(55)) {
+            // Bytecode idioms repeat (expression-tree shapes), which
+            // is what makes interpreter paths recur often enough for
+            // the Path Cache to latch onto them.
+            op = prev_op;
+        } else {
+            switch (rng.nextBelow(8)) {
+              case 0: case 1: op = OpPush; break;
+              case 2: op = OpAdd; break;
+              case 3: op = OpSub; break;
+              case 4: op = OpDup; break;
+              case 5: op = OpCondSkip; break;
+              case 6: op = OpLoad; break;
+              default: op = OpXor; break;
+            }
+        }
+        prev_op = op;
+        switch (op) {
+          case OpPush: case OpLoad: case OpDup: depth++; break;
+          case OpAdd: case OpSub: case OpXor:
+          case OpStore: case OpCondSkip: depth--; break;
+        }
+        uint64_t arg = op == OpPush ? rng.nextBelow(1 << 16)
+                                    : rng.nextBelow(32);
+        code.push_back(op | (arg << 8));
+    }
+    code.push_back(~0ull);      // HALT sentinel (op field = 0xff)
+    b.initWords(kCode, code);
+
+    std::vector<uint64_t> env;
+    for (int i = 0; i < 32; i++)
+        env.push_back(rng.nextBelow(1 << 16));
+    b.initWords(kEnv, env);
+
+    for (uint64_t op = 0; op < kNumOps; op++) {
+        static const char *handlers[] = {
+            "op_push", "op_add", "op_sub", "op_dup", "op_condskip",
+            "op_load", "op_store", "op_xor",
+        };
+        b.initWordLabel(kDispatch + 8 * op, handlers[op]);
+    }
+
+    // r20 = pass, r21 = code cursor, r22 = stack pointer (grows up)
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), kCode);
+    b.li(R(22), kStack);
+
+    b.label("dispatch");
+    b.ld(R(1), R(21), 0);               // fetch bytecode
+    b.addi(R(21), R(21), 8);
+    b.andi(R(2), R(1), 0xff);           // opcode
+    b.srli(R(3), R(1), 8);              // argument
+    b.li(R(4), 0xff);
+    b.beq(R(2), R(4), "stream_end");
+    b.slli(R(4), R(2), 3);
+    b.li(R(5), kDispatch);
+    b.add(R(4), R(4), R(5));
+    b.ld(R(5), R(4), 0);
+    b.jr(R(5));                         // interpreter dispatch
+
+    b.label("op_push");
+    b.st(R(3), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    b.label("op_add");
+    b.addi(R(22), R(22), -16);
+    b.ld(R(6), R(22), 0);
+    b.ld(R(7), R(22), 8);
+    b.add(R(6), R(6), R(7));
+    b.st(R(6), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    b.label("op_sub");
+    b.addi(R(22), R(22), -16);
+    b.ld(R(6), R(22), 0);
+    b.ld(R(7), R(22), 8);
+    b.sub(R(6), R(6), R(7));
+    b.st(R(6), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    b.label("op_dup");
+    b.ld(R(6), R(22), -8);
+    b.st(R(6), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    // CONDSKIP: pop v; if v is odd, take the slow arm that folds v
+    // into an environment slot. The direction is pure data — the
+    // interpreter's difficult branch.
+    b.label("op_condskip");
+    b.addi(R(22), R(22), -8);
+    b.ld(R(6), R(22), 0);
+    b.andi(R(7), R(6), 1);
+    b.beq(R(7), R(0), "dispatch");
+    b.andi(R(8), R(3), 31);
+    b.slli(R(8), R(8), 3);
+    b.li(R(9), kEnv);
+    b.add(R(8), R(8), R(9));
+    b.ld(R(9), R(8), 0);
+    b.xor_(R(9), R(9), R(6));
+    b.st(R(9), R(8), 0);
+    b.j("dispatch");
+
+    b.label("op_load");
+    b.andi(R(6), R(3), 31);
+    b.slli(R(6), R(6), 3);
+    b.li(R(7), kEnv);
+    b.add(R(6), R(6), R(7));
+    b.ld(R(8), R(6), 0);
+    b.st(R(8), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    b.label("op_store");
+    b.addi(R(22), R(22), -8);
+    b.ld(R(8), R(22), 0);
+    b.andi(R(6), R(3), 31);
+    b.slli(R(6), R(6), 3);
+    b.li(R(7), kEnv);
+    b.add(R(6), R(6), R(7));
+    b.st(R(8), R(6), 0);
+    b.j("dispatch");
+
+    b.label("op_xor");
+    b.addi(R(22), R(22), -16);
+    b.ld(R(6), R(22), 0);
+    b.ld(R(7), R(22), 8);
+    b.xor_(R(6), R(6), R(7));
+    b.st(R(6), R(22), 0);
+    b.addi(R(22), R(22), 8);
+    b.j("dispatch");
+
+    b.label("stream_end");
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("li");
+}
+
+} // namespace workloads
+} // namespace ssmt

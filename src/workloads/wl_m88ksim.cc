@@ -1,0 +1,131 @@
+/**
+ * @file
+ * `m88ksim` proxy (SPECint95 124.m88ksim): an ISA simulator running
+ * a small guest program. Decode uses nested field tests rather than
+ * a jump table (as m88ksim does), and the "is the guest branch
+ * taken?" test follows guest data — a branch that is nearly
+ * unpredictable to the host's predictor but trivially pre-computable
+ * by a microthread. The paper shows m88ksim with very low execution
+ * coverage; the proxy keeps most branches easy.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeM88ksim(const WorkloadParams &p)
+{
+    constexpr uint64_t kGuestCode = 0x200000;
+    constexpr uint64_t kGuestRegs = 0x240000;   // 16 guest registers
+    constexpr uint64_t kGuestData = 0x250000;
+    constexpr int kGuestInsts = 64;             // guest loop body
+    constexpr int kSteps = 8000;               // simulated steps
+
+    // Guest encoding: kind(0..3) | rd | rs | imm16
+    //   kind 0 = addi, 1 = load, 2 = xor, 3 = branch-if-odd(rs)
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    std::vector<uint64_t> guest;
+    for (int i = 0; i < kGuestInsts; i++) {
+        uint64_t kind = rng.nextBelow(4);
+        uint64_t rd = rng.nextBelow(16);
+        uint64_t rs = rng.nextBelow(16);
+        uint64_t imm = rng.nextBelow(1 << 16);
+        guest.push_back(kind | (rd << 4) | (rs << 8) | (imm << 16));
+    }
+    b.initWords(kGuestCode, guest);
+
+    std::vector<uint64_t> gregs;
+    for (int i = 0; i < 16; i++)
+        gregs.push_back(rng.next());
+    b.initWords(kGuestRegs, gregs);
+
+    std::vector<uint64_t> gdata;
+    for (int i = 0; i < 512; i++)
+        gdata.push_back(rng.next());
+    b.initWords(kGuestData, gdata);
+
+    // r20 = pass, r21 = remaining steps, r1 = guest pc (0..63)
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+    b.li(R(21), kSteps);
+    b.li(R(1), 0);
+
+    b.label("step");
+    // Fetch guest instruction.
+    b.slli(R(2), R(1), 3);
+    b.li(R(3), kGuestCode);
+    b.add(R(2), R(2), R(3));
+    b.ld(R(4), R(2), 0);                // guest inst
+    b.andi(R(5), R(4), 0xf);            // kind
+    b.srli(R(6), R(4), 4);
+    b.andi(R(6), R(6), 0xf);            // rd
+    b.srli(R(7), R(4), 8);
+    b.andi(R(7), R(7), 0xf);            // rs
+    b.srli(R(8), R(4), 16);             // imm16
+    // rs value
+    b.slli(R(9), R(7), 3);
+    b.li(R(10), kGuestRegs);
+    b.add(R(9), R(9), R(10));
+    b.ld(R(11), R(9), 0);               // vs
+    // &guest_regs[rd]
+    b.slli(R(12), R(6), 3);
+    b.add(R(12), R(12), R(10));
+
+    // Nested decode (m88ksim style): kind < 2 ?
+    b.slti(R(13), R(5), 2);
+    b.beq(R(13), R(0), "kind23");
+    b.beq(R(5), R(0), "g_addi");
+    // kind 1: load guest_data[(vs + imm) & 511]
+    b.add(R(14), R(11), R(8));
+    b.andi(R(14), R(14), 511);
+    b.slli(R(14), R(14), 3);
+    b.li(R(15), kGuestData);
+    b.add(R(14), R(14), R(15));
+    b.ld(R(16), R(14), 0);
+    b.st(R(16), R(12), 0);
+    b.j("g_next");
+    b.label("g_addi");
+    b.add(R(16), R(11), R(8));
+    b.st(R(16), R(12), 0);
+    b.j("g_next");
+
+    b.label("kind23");
+    b.li(R(13), 2);
+    b.beq(R(5), R(13), "g_xor");
+    // kind 3: guest branch — taken iff vs is odd (guest data).
+    b.andi(R(14), R(11), 1);
+    b.beq(R(14), R(0), "g_next");
+    b.andi(R(15), R(8), 63);            // guest target
+    b.mv(R(1), R(15));
+    b.j("g_step_done");
+    b.label("g_xor");
+    b.xor_(R(16), R(11), R(8));
+    b.st(R(16), R(12), 0);
+    b.j("g_next");
+
+    b.label("g_next");
+    b.addi(R(1), R(1), 1);
+    b.andi(R(1), R(1), 63);             // wrap guest pc
+    b.label("g_step_done");
+    b.addi(R(21), R(21), -1);
+    b.bne(R(21), R(0), "step");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("m88ksim");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * `parser_2k` proxy (SPECint2000 197.parser): dictionary word
+ * segmentation — walking a character trie per input token with
+ * per-character "does a child exist?" branches and a backtracking
+ * retry when a greedy parse dead-ends. Common words make the trie
+ * walk easy; rare/garbage tokens make the same branches hard.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <array>
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeParser_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kTrie = 0x1000000;   // nodes: 8 children + flag
+    constexpr uint64_t kText = 0x1800000;
+    constexpr int kAlpha = 8;               // reduced alphabet
+    constexpr int kTextLen = 8 * 1024;
+    constexpr int kMaxNodes = 2048;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Host-side trie build over a random dictionary.
+    // Node layout: words [0..7] = child node addresses (0 = none),
+    // word [8] = terminal flag.
+    std::vector<std::array<uint64_t, 9>> trie(1);
+    std::vector<std::vector<uint64_t>> dict;
+    for (int w = 0; w < 160; w++) {
+        std::vector<uint64_t> word;
+        int len = 2 + static_cast<int>(rng.nextBelow(6));
+        for (int i = 0; i < len; i++)
+            word.push_back(rng.nextBelow(kAlpha));
+        dict.push_back(word);
+        size_t node = 0;
+        for (uint64_t ch : word) {
+            if (trie[node][ch] == 0) {
+                if (trie.size() >= kMaxNodes)
+                    break;
+                trie.push_back({});
+                trie[node][ch] = trie.size() - 1;   // node index
+            }
+            node = trie[node][ch];
+        }
+        trie[node][8] = 1;
+    }
+    // Flatten with addresses.
+    std::vector<uint64_t> trie_words;
+    trie_words.reserve(trie.size() * 9);
+    for (const auto &node : trie) {
+        for (int c = 0; c < kAlpha; c++) {
+            trie_words.push_back(
+                node[c] ? kTrie + node[c] * 9 * 8 : 0);
+        }
+        trie_words.push_back(node[8]);
+    }
+    b.initWords(kTrie, trie_words);
+
+    // Text: 70% dictionary words, 30% garbage, '7'-terminated...
+    // characters 0..7; sentinel value 255 ends the stream.
+    std::vector<uint64_t> text;
+    while (static_cast<int>(text.size()) < kTextLen - 12) {
+        if (rng.chance(70)) {
+            const auto &word = dict[rng.nextBelow(dict.size())];
+            text.insert(text.end(), word.begin(), word.end());
+        } else {
+            int len = 2 + static_cast<int>(rng.nextBelow(5));
+            for (int i = 0; i < len; i++)
+                text.push_back(rng.nextBelow(kAlpha));
+        }
+    }
+    text.push_back(255);
+    b.initWords(kText, text);
+
+    // r20 = pass, r21 = text cursor addr, r1 = parsed words,
+    // r2 = failures
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), kText);
+    b.li(R(1), 0);
+    b.li(R(2), 0);
+
+    b.label("token");
+    b.ld(R(3), R(21), 0);
+    b.li(R(4), 255);
+    b.beq(R(3), R(4), "stream_end");
+    // Greedy longest-match from this position.
+    b.li(R(5), kTrie);                  // node = root
+    b.mv(R(6), R(21));                  // scan cursor
+    b.li(R(7), 0);                      // last terminal length
+    b.li(R(8), 0);                      // current length
+    b.label("walk");
+    b.ld(R(9), R(6), 0);                // ch
+    b.beq(R(9), R(4), "walk_end");      // sentinel
+    b.slli(R(10), R(9), 3);
+    b.add(R(10), R(10), R(5));
+    b.ld(R(11), R(10), 0);              // child address
+    // The parser's signature branch: child exists?
+    b.beq(R(11), R(0), "walk_end");
+    b.mv(R(5), R(11));
+    b.addi(R(8), R(8), 1);
+    b.addi(R(6), R(6), 8);
+    // Terminal here? Remember for backtracking.
+    b.ld(R(12), R(5), 64);              // flag word (9th)
+    b.beq(R(12), R(0), "walk");
+    b.mv(R(7), R(8));
+    b.j("walk");
+    b.label("walk_end");
+    // Accept the longest terminal prefix, else skip one char.
+    b.beq(R(7), R(0), "reject");
+    b.addi(R(1), R(1), 1);
+    b.slli(R(13), R(7), 3);
+    b.add(R(21), R(21), R(13));
+    b.j("token");
+    b.label("reject");
+    b.addi(R(2), R(2), 1);
+    b.addi(R(21), R(21), 8);
+    b.j("token");
+
+    b.label("stream_end");
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("parser_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * `perl` / `perlbmk_2k` proxies (SPECint 134.perl / 253.perlbmk):
+ * table-driven regular-expression FSMs over text. The per-character
+ * class tests are shared across all scan states, so their difficulty
+ * is carried by the path (which state/pattern reached them), and the
+ * text mixes prose-like easy sections with near-match sections that
+ * thrash the matcher. perlbmk additionally hashes each token,
+ * lowering its branch density (the paper shows perlbmk with
+ * near-zero execution coverage).
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+namespace
+{
+
+isa::Program
+makePerlLike(const char *name, bool hash_tokens, int num_chars,
+             const WorkloadParams &p)
+{
+    constexpr uint64_t kText = 0x300000;
+    constexpr uint64_t kTrans = 0x400000;   // transition table
+    constexpr int kStates = 8;
+    constexpr int kClasses = 4;             // alpha, digit, space, other
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Text: prose-like sections (word/space rhythm) interleaved with
+    // near-match noise around the pattern the FSM hunts for.
+    std::vector<uint64_t> text;
+    text.reserve(num_chars);
+    bool noisy = false;
+    int section = 1500;
+    int word_left = 4;
+    for (int i = 0; i < num_chars; i++) {
+        if (--section <= 0) {
+            noisy = !noisy;
+            section = noisy ? 700 : 1500;
+        }
+        uint64_t ch;
+        if (noisy) {
+            ch = rng.nextBelow(96) + 32;    // printable noise
+        } else if (--word_left <= 0) {
+            ch = ' ';
+            word_left = 2 + static_cast<int>(rng.nextBelow(8));
+        } else {
+            ch = 'a' + rng.nextBelow(26);
+        }
+        text.push_back(ch);
+    }
+    b.initWords(kText, text);
+
+    // FSM: hunts digit-runs inside words; transitions pseudorandom
+    // but fixed, accepting state = 7.
+    std::vector<uint64_t> trans(kStates * kClasses);
+    for (int s = 0; s < kStates; s++)
+        for (int c = 0; c < kClasses; c++)
+            trans[s * kClasses + c] =
+                (s + c + 1 + rng.nextBelow(3)) % kStates;
+    b.initWords(kTrans, trans);
+
+    // r20 = pass, r21 = cursor, r22 = end, r1 = state, r2 = matches,
+    // r3 = token hash
+    b.li(R(20), static_cast<int64_t>(3 * p.scale));
+    b.label("pass");
+    b.li(R(21), kText);
+    b.li(R(22), kText + static_cast<uint64_t>(num_chars) * 8);
+    b.li(R(1), 0);
+    b.li(R(2), 0);
+    b.li(R(3), 5381);
+
+    b.label("scan");
+    b.ld(R(4), R(21), 0);               // ch
+    // Classify: alpha / digit / space / other via compare ladder.
+    b.li(R(5), 'a');
+    b.blt(R(4), R(5), "not_lower");
+    b.li(R(5), 'z' + 1);
+    b.bge(R(4), R(5), "not_lower");
+    b.li(R(6), 0);                      // alpha
+    b.j("classified");
+    b.label("not_lower");
+    b.li(R(5), '0');
+    b.blt(R(4), R(5), "not_digit");
+    b.li(R(5), '9' + 1);
+    b.bge(R(4), R(5), "not_digit");
+    b.li(R(6), 1);                      // digit
+    b.j("classified");
+    b.label("not_digit");
+    b.li(R(5), ' ');
+    b.bne(R(4), R(5), "other");
+    b.li(R(6), 2);                      // space
+    b.j("classified");
+    b.label("other");
+    b.li(R(6), 3);
+
+    b.label("classified");
+    if (hash_tokens) {
+        // perlbmk: token hashing between branches (djb2-ish).
+        b.slli(R(7), R(3), 5);
+        b.add(R(3), R(7), R(3));
+        b.add(R(3), R(3), R(4));
+        b.slli(R(7), R(3), 13);
+        b.xor_(R(3), R(3), R(7));
+        b.srli(R(7), R(3), 7);
+        b.xor_(R(3), R(3), R(7));
+    }
+    // next_state = trans[state * kClasses + class]
+    b.slli(R(7), R(1), 2);
+    b.add(R(7), R(7), R(6));
+    b.slli(R(7), R(7), 3);
+    b.li(R(8), kTrans);
+    b.add(R(7), R(7), R(8));
+    b.ld(R(1), R(7), 0);
+    // Accepting state?
+    b.li(R(8), 7);
+    b.bne(R(1), R(8), "no_match");
+    b.addi(R(2), R(2), 1);
+    b.li(R(1), 0);                      // restart after a match
+    b.label("no_match");
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "scan");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build(name);
+}
+
+} // namespace
+
+isa::Program
+makePerl(const WorkloadParams &p)
+{
+    return makePerlLike("perl", false, 8 * 1024, p);
+}
+
+isa::Program
+makePerlbmk_2k(const WorkloadParams &p)
+{
+    WorkloadParams p2 = p;
+    p2.seed = p.seed ^ 0x253253;
+    return makePerlLike("perlbmk_2k", true, 8 * 1024, p2);
+}
+
+} // namespace workloads
+} // namespace ssmt

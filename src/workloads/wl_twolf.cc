@@ -1,0 +1,124 @@
+/**
+ * @file
+ * `twolf_2k` proxy (SPECint2000 300.twolf): simulated-annealing
+ * placement — propose a cell swap, compute the wirelength delta, and
+ * accept/reject against a falling temperature. Early (hot) phases
+ * make the accept branch a coin flip; late (cold) phases bias it
+ * towards reject, so the same static branch moves through difficulty
+ * regimes as the run proceeds.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeTwolf_2k(const WorkloadParams &p)
+{
+    constexpr uint64_t kCells = 0x2000000;  // cell x-positions
+    constexpr uint64_t kNets = 0x2100000;   // {cellA, cellB, weight}
+    constexpr uint64_t kMoves = 0x2200000;  // proposed swaps
+    constexpr int kNumCells = 1024;
+    constexpr int kNumNets = 2048;
+    constexpr int kNumMoves = 4000;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    std::vector<uint64_t> cells;
+    for (int i = 0; i < kNumCells; i++)
+        cells.push_back(rng.nextBelow(1 << 12));
+    b.initWords(kCells, cells);
+
+    std::vector<uint64_t> nets;
+    for (int i = 0; i < kNumNets; i++) {
+        nets.push_back(rng.nextBelow(kNumCells));
+        nets.push_back(rng.nextBelow(kNumCells));
+        nets.push_back(1 + rng.nextBelow(4));
+    }
+    b.initWords(kNets, nets);
+
+    // Moves: {cell, new_x, net_index} — net_index samples the cost.
+    std::vector<uint64_t> moves;
+    for (int i = 0; i < kNumMoves; i++) {
+        moves.push_back(rng.nextBelow(kNumCells));
+        moves.push_back(rng.nextBelow(1 << 12));
+        moves.push_back(rng.nextBelow(kNumNets));
+    }
+    b.initWords(kMoves, moves);
+
+    // r20 = pass, r21 = move cursor, r22 = end, r1 = temperature,
+    // r2 = accepted count
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+    b.li(R(21), kMoves);
+    b.li(R(22), kMoves + kNumMoves * 3 * 8);
+    b.li(R(1), 2048);                   // initial temperature
+    b.li(R(2), 0);
+
+    b.label("move");
+    b.ld(R(3), R(21), 0);               // cell
+    b.ld(R(4), R(21), 8);               // proposed x
+    b.ld(R(5), R(21), 16);              // sampled net
+    // Current position.
+    b.slli(R(6), R(3), 3);
+    b.li(R(7), kCells);
+    b.add(R(6), R(6), R(7));
+    b.ld(R(8), R(6), 0);                // old x
+    // Sampled net endpoints and weight.
+    b.li(R(9), 24);
+    b.mul(R(10), R(5), R(9));
+    b.li(R(9), kNets);
+    b.add(R(10), R(10), R(9));
+    b.ld(R(11), R(10), 0);              // cellA
+    b.slli(R(11), R(11), 3);
+    b.add(R(11), R(11), R(7));
+    b.ld(R(12), R(11), 0);              // xA
+    b.ld(R(13), R(10), 16);             // weight
+    // delta = weight * (|new - xA| - |old - xA|)
+    b.sub(R(14), R(4), R(12));
+    b.blt(R(14), R(0), "abs1");
+    b.j("abs1_done");
+    b.label("abs1");
+    b.sub(R(14), R(0), R(14));
+    b.label("abs1_done");
+    b.sub(R(15), R(8), R(12));
+    b.blt(R(15), R(0), "abs2");
+    b.j("abs2_done");
+    b.label("abs2");
+    b.sub(R(15), R(0), R(15));
+    b.label("abs2_done");
+    b.sub(R(16), R(14), R(15));
+    b.mul(R(16), R(16), R(13));
+    // Accept if delta < temperature (annealing accept branch).
+    b.blt(R(16), R(1), "accept");
+    b.j("cool");
+    b.label("accept");
+    b.st(R(4), R(6), 0);                // commit the move
+    b.addi(R(2), R(2), 1);
+    b.label("cool");
+    // Geometric-ish cooling every 16 moves.
+    b.andi(R(17), R(2), 15);
+    b.bne(R(17), R(0), "next");
+    b.srai(R(17), R(1), 6);
+    b.sub(R(1), R(1), R(17));
+    b.label("next");
+    b.addi(R(21), R(21), 24);
+    b.blt(R(21), R(22), "move");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("twolf_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

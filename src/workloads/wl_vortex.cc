@@ -1,0 +1,161 @@
+/**
+ * @file
+ * `vortex` / `vortex_2k` proxies (SPECint 147.vortex / 255.vortex):
+ * an object-oriented database — hash-table object store processing a
+ * transaction stream of lookups, inserts and deletes. Key skew makes
+ * most chain-walk comparisons easy (hot keys hit in one probe) while
+ * cold keys produce data-dependent chain walks; the paper shows
+ * vortex with high misprediction coverage at very low execution
+ * coverage, which this skew reproduces.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+namespace
+{
+
+isa::Program
+makeVortexLike(const char *name, int num_txns, int num_buckets,
+               const WorkloadParams &p)
+{
+    // Object store: bucket array of list heads; node pool of
+    // {key, payload, next} triples. Node 0 is the null sentinel.
+    constexpr uint64_t kBuckets = 0x500000;
+    constexpr uint64_t kPool = 0x600000;    // node pool, 3 words each
+    constexpr uint64_t kTxns = 0x800000;
+    constexpr uint64_t kFreeTop = 0x4ffff8; // free-pool bump pointer
+    const int kPrefill = num_buckets * 2;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Pre-fill the table host-side so lookups have chains to walk.
+    std::vector<uint64_t> buckets(num_buckets, 0);
+    std::vector<uint64_t> pool;
+    pool.push_back(0);      // node 0 = null
+    pool.push_back(0);
+    pool.push_back(0);
+    for (int i = 1; i <= kPrefill; i++) {
+        uint64_t key = rng.nextBelow(1 << 20);
+        uint64_t bucket = key % num_buckets;
+        uint64_t node_addr =
+            kPool + static_cast<uint64_t>(pool.size()) * 8;
+        pool.push_back(key);
+        pool.push_back(rng.next());
+        pool.push_back(buckets[bucket]);
+        buckets[bucket] = node_addr;
+    }
+    b.initWords(kBuckets, buckets);
+    b.initWords(kPool, pool);
+    b.initWord(kFreeTop,
+               kPool + static_cast<uint64_t>(pool.size()) * 8);
+
+    // Transactions: kind | key. 85% lookups; keys heavily skewed:
+    // 85% from a hot set of 16 keys (present, short probes), the
+    // rest uniform (usually absent, data-dependent chain walks) —
+    // vortex's paper profile of high misprediction coverage at low
+    // execution coverage comes from exactly this skew.
+    std::vector<uint64_t> hot_keys;
+    for (int i = 0; i < 16; i++)
+        hot_keys.push_back(pool[3 * (1 + rng.nextBelow(kPrefill))]);
+    std::vector<uint64_t> txns;
+    for (int i = 0; i < num_txns; i++) {
+        uint64_t kind = rng.chance(85) ? 0 : (rng.chance(60) ? 1 : 2);
+        uint64_t key = rng.chance(85)
+                           ? hot_keys[rng.nextBelow(16)]
+                           : rng.nextBelow(1 << 20);
+        txns.push_back(kind | (key << 8));
+    }
+    b.initWords(kTxns, txns);
+
+    // r20 = pass, r21 = txn cursor, r22 = end, r1 = found-counter
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.label("pass");
+    b.li(R(21), kTxns);
+    b.li(R(22), kTxns + static_cast<uint64_t>(num_txns) * 8);
+    b.li(R(1), 0);
+
+    b.label("txn");
+    b.ld(R(2), R(21), 0);
+    b.andi(R(3), R(2), 0xff);           // kind
+    b.srli(R(4), R(2), 8);              // key
+    // bucket head address: kBuckets + (key % num_buckets) * 8
+    b.li(R(5), num_buckets);
+    b.div(R(6), R(4), R(5));
+    b.mul(R(6), R(6), R(5));
+    b.sub(R(6), R(4), R(6));            // key % num_buckets
+    b.slli(R(6), R(6), 3);
+    b.li(R(7), kBuckets);
+    b.add(R(6), R(6), R(7));            // &buckets[b]
+    b.ld(R(8), R(6), 0);                // node = head
+
+    // Chain walk shared by all transaction kinds.
+    b.label("walk");
+    b.beq(R(8), R(0), "walk_miss");
+    b.ld(R(9), R(8), 0);                // node->key
+    b.beq(R(9), R(4), "walk_hit");
+    b.ld(R(8), R(8), 16);               // node = node->next
+    b.j("walk");
+
+    b.label("walk_hit");
+    b.addi(R(1), R(1), 1);
+    b.li(R(10), 2);
+    b.bne(R(3), R(10), "txn_next");
+    // Delete: lazy — tombstone the key field.
+    b.li(R(11), -1);
+    b.st(R(11), R(8), 0);
+    b.j("txn_next");
+
+    b.label("walk_miss");
+    b.li(R(10), 1);
+    b.bne(R(3), R(10), "txn_next");
+    // Insert at head from the bump allocator.
+    b.li(R(11), kFreeTop);
+    b.ld(R(12), R(11), 0);              // new node address
+    b.st(R(4), R(12), 0);               // key
+    b.st(R(2), R(12), 8);               // payload
+    b.ld(R(13), R(6), 0);               // old head
+    b.st(R(13), R(12), 16);             // next = old head
+    b.st(R(12), R(6), 0);               // head = node
+    b.addi(R(12), R(12), 24);
+    b.st(R(12), R(11), 0);
+    b.j("txn_next");
+
+    b.label("txn_next");
+    b.addi(R(21), R(21), 8);
+    b.blt(R(21), R(22), "txn");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build(name);
+}
+
+} // namespace
+
+isa::Program
+makeVortex(const WorkloadParams &p)
+{
+    return makeVortexLike("vortex", 5000, 512, p);
+}
+
+isa::Program
+makeVortex_2k(const WorkloadParams &p)
+{
+    WorkloadParams p2 = p;
+    p2.seed = p.seed ^ 0x255255;
+    return makeVortexLike("vortex_2k", 6000, 1024, p2);
+}
+
+} // namespace workloads
+} // namespace ssmt

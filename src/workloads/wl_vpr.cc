@@ -1,0 +1,120 @@
+/**
+ * @file
+ * `vpr_2k` proxy (SPECint2000 175.vpr): FPGA maze routing — a
+ * breadth-first wavefront over a 128x128 routing grid with blocked
+ * channels and per-neighbour cost tests. The explored/blocked
+ * branches follow the congestion map; routes through open regions
+ * are easy, routes skirting blockages are difficult.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace ssmt
+{
+namespace workloads
+{
+
+using isa::ProgramBuilder;
+using isa::R;
+
+isa::Program
+makeVpr_2k(const WorkloadParams &p)
+{
+    constexpr int kDim = 128;
+    constexpr uint64_t kGrid = 0x3000000;   // cost/blocked per cell
+    constexpr uint64_t kMark = 0x3200000;   // visited stamp per cell
+    constexpr uint64_t kQueue = 0x3400000;  // BFS ring queue
+    constexpr uint64_t kSeeds = 0x3600000;
+    constexpr int kNumRoutes = 60;
+    constexpr int kStepsPerRoute = 150;
+
+    ProgramBuilder b;
+    Rng rng(p.seed);
+
+    // Grid: 0 = blocked (20%), else routing cost 1..7; border
+    // blocked so neighbour indexing stays in range.
+    std::vector<uint64_t> grid(kDim * kDim, 0);
+    for (int y = 1; y < kDim - 1; y++)
+        for (int x = 1; x < kDim - 1; x++)
+            grid[y * kDim + x] =
+                rng.chance(20) ? 0 : 1 + rng.nextBelow(7);
+    b.initWords(kGrid, grid);
+    b.initWords(kMark, std::vector<uint64_t>(kDim * kDim, 0));
+
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < kNumRoutes; i++) {
+        int x = 8 + static_cast<int>(rng.nextBelow(kDim - 16));
+        int y = 8 + static_cast<int>(rng.nextBelow(kDim - 16));
+        seeds.push_back(static_cast<uint64_t>(y * kDim + x));
+    }
+    b.initWords(kSeeds, seeds);
+
+    // r20 = pass, r21 = route index, r1 = stamp (per route),
+    // r2/r3 = queue head/tail cursors, r4 = steps left
+    b.li(R(20), static_cast<int64_t>(2 * p.scale));
+    b.li(R(1), 0);
+    b.label("pass");
+    b.li(R(21), 0);
+
+    b.label("route");
+    b.addi(R(1), R(1), 1);              // fresh visited stamp
+    // Seed the queue.
+    b.slli(R(5), R(21), 3);
+    b.li(R(6), kSeeds);
+    b.add(R(5), R(5), R(6));
+    b.ld(R(7), R(5), 0);                // seed cell
+    b.li(R(2), kQueue);
+    b.li(R(3), kQueue);
+    b.st(R(7), R(3), 0);
+    b.addi(R(3), R(3), 8);
+    b.li(R(4), kStepsPerRoute);
+
+    b.label("expand");
+    b.beq(R(2), R(3), "route_done");    // queue empty
+    b.beq(R(4), R(0), "route_done");    // step budget exhausted
+    b.addi(R(4), R(4), -1);
+    b.ld(R(7), R(2), 0);                // cell = pop
+    b.addi(R(2), R(2), 8);
+
+    // Visit the four neighbours (unrolled with shared tail).
+    static const int64_t kOffsets[4] = {-kDim, kDim, -1, 1};
+    for (int nb = 0; nb < 4; nb++) {
+        std::string skip = "nb_skip" + std::to_string(nb);
+        b.li(R(8), kOffsets[nb]);
+        b.add(R(8), R(8), R(7));        // neighbour cell index
+        b.slli(R(9), R(8), 3);
+        // Blocked?
+        b.li(R(10), kGrid);
+        b.add(R(10), R(10), R(9));
+        b.ld(R(11), R(10), 0);
+        b.beq(R(11), R(0), skip);       // data branch: blockage map
+        // Already visited this route?
+        b.li(R(10), kMark);
+        b.add(R(10), R(10), R(9));
+        b.ld(R(12), R(10), 0);
+        b.beq(R(12), R(1), skip);       // data branch: wavefront
+        b.st(R(1), R(10), 0);           // mark visited
+        // Cheap channels get queued (cost filter).
+        b.slti(R(13), R(11), 5);
+        b.beq(R(13), R(0), skip);
+        b.st(R(8), R(3), 0);
+        b.addi(R(3), R(3), 8);
+        b.label(skip);
+    }
+    b.j("expand");
+
+    b.label("route_done");
+    b.addi(R(21), R(21), 1);
+    b.li(R(9), kNumRoutes);
+    b.blt(R(21), R(9), "route");
+
+    b.addi(R(20), R(20), -1);
+    b.bne(R(20), R(0), "pass");
+    b.halt();
+    return b.build("vpr_2k");
+}
+
+} // namespace workloads
+} // namespace ssmt

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared helpers for hand-constructing Post-Retirement Buffer
+ * contents in builder/optimization/pruning tests.
+ */
+
+#ifndef SSMT_TESTS_PRB_FIXTURE_HH
+#define SSMT_TESTS_PRB_FIXTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path_id.hh"
+#include "core/prb.hh"
+#include "isa/inst.hh"
+
+namespace ssmt
+{
+namespace test
+{
+
+/** Fluent PRB filler assigning sequence numbers automatically. */
+class PrbFiller
+{
+  public:
+    explicit PrbFiller(core::Prb &prb, uint64_t first_seq = 100)
+        : prb_(prb), seq_(first_seq)
+    {
+    }
+
+    /** Generic entry push; returns the assigned seq. */
+    uint64_t
+    push(uint64_t pc, const isa::Inst &inst, uint64_t value = 0,
+         uint64_t mem_addr = 0, bool taken = false,
+         uint64_t target = 0, bool vp_conf = false,
+         bool ap_conf = false)
+    {
+        core::PrbEntry entry;
+        entry.seq = seq_++;
+        entry.pc = pc;
+        entry.inst = inst;
+        entry.value = value;
+        entry.memAddr = mem_addr;
+        entry.taken = taken;
+        entry.target = target;
+        entry.vpConfident = vp_conf;
+        entry.apConfident = ap_conf;
+        prb_.push(entry);
+        return entry.seq;
+    }
+
+    uint64_t
+    taken_jump(uint64_t pc, uint64_t target)
+    {
+        return push(pc,
+                    isa::Inst{isa::Opcode::J, isa::kNoReg,
+                              isa::kNoReg, isa::kNoReg,
+                              static_cast<int64_t>(target)},
+                    0, 0, true, target);
+    }
+
+    uint64_t
+    ldi(uint64_t pc, isa::RegIndex rd, int64_t imm,
+        bool vp_conf = false)
+    {
+        return push(pc,
+                    isa::Inst{isa::Opcode::Ldi, rd, isa::kNoReg,
+                              isa::kNoReg, imm},
+                    static_cast<uint64_t>(imm), 0, false, 0, vp_conf);
+    }
+
+    uint64_t
+    alu(uint64_t pc, isa::Opcode op, isa::RegIndex rd,
+        isa::RegIndex rs1, isa::RegIndex rs2, uint64_t value = 0,
+        bool vp_conf = false)
+    {
+        return push(pc, isa::Inst{op, rd, rs1, rs2, 0}, value, 0,
+                    false, 0, vp_conf);
+    }
+
+    uint64_t
+    alui(uint64_t pc, isa::Opcode op, isa::RegIndex rd,
+         isa::RegIndex rs1, int64_t imm, uint64_t value = 0,
+         bool vp_conf = false)
+    {
+        return push(pc, isa::Inst{op, rd, rs1, isa::kNoReg, imm},
+                    value, 0, false, 0, vp_conf);
+    }
+
+    uint64_t
+    load(uint64_t pc, isa::RegIndex rd, isa::RegIndex base,
+         int64_t off, uint64_t addr, uint64_t value = 0,
+         bool vp_conf = false, bool ap_conf = false)
+    {
+        return push(pc,
+                    isa::Inst{isa::Opcode::Ld, rd, base, isa::kNoReg,
+                              off},
+                    value, addr, false, 0, vp_conf, ap_conf);
+    }
+
+    uint64_t
+    store(uint64_t pc, isa::RegIndex base, isa::RegIndex src,
+          int64_t off, uint64_t addr)
+    {
+        return push(pc,
+                    isa::Inst{isa::Opcode::St, isa::kNoReg, base, src,
+                              off},
+                    0, addr);
+    }
+
+    /** Terminating conditional branch (retired, possibly taken). */
+    uint64_t
+    branch(uint64_t pc, isa::Opcode op, isa::RegIndex a,
+           isa::RegIndex b, uint64_t target, bool taken)
+    {
+        return push(pc,
+                    isa::Inst{op, isa::kNoReg, a, b,
+                              static_cast<int64_t>(target)},
+                    0, 0, taken, target);
+    }
+
+  private:
+    core::Prb &prb_;
+    uint64_t seq_;
+};
+
+/** Path_Id of the given taken-branch pcs (oldest first). */
+inline core::PathId
+pathIdOf(std::initializer_list<uint64_t> pcs)
+{
+    core::PathId h = 0;
+    for (uint64_t pc : pcs)
+        h = core::hashStep(h, pc * isa::kInstBytes);
+    return h;
+}
+
+} // namespace test
+} // namespace ssmt
+
+#endif // SSMT_TESTS_PRB_FIXTURE_HH

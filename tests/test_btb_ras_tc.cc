@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the BTB, return-address stack, and indirect target cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb.hh"
+#include "bpred/ras.hh"
+#include "bpred/target_cache.hh"
+
+namespace
+{
+
+using ssmt::bpred::Btb;
+using ssmt::bpred::Ras;
+using ssmt::bpred::TargetCache;
+
+TEST(BtbTest, MissThenHit)
+{
+    Btb btb(64, 4);
+    EXPECT_FALSE(btb.lookup(100).has_value());
+    btb.update(100, 555);
+    auto hit = btb.lookup(100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 555u);
+}
+
+TEST(BtbTest, UpdateRefreshesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(100, 1);
+    btb.update(100, 2);
+    EXPECT_EQ(*btb.lookup(100), 2u);
+}
+
+TEST(BtbTest, ConflictEvictionIsLru)
+{
+    Btb btb(8, 2);      // 4 sets; same-set stride = 4
+    btb.update(0, 10);
+    btb.update(4, 20);
+    btb.lookup(0);      // refresh 0
+    btb.update(8, 30);  // evicts 4
+    EXPECT_TRUE(btb.lookup(0).has_value());
+    EXPECT_FALSE(btb.lookup(4).has_value());
+    EXPECT_TRUE(btb.lookup(8).has_value());
+}
+
+TEST(RasTest, LifoOrder)
+{
+    Ras ras(32);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 1u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(RasTest, UnderflowReturnsZero)
+{
+    Ras ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.top(), 0u);
+}
+
+TEST(RasTest, OverflowWrapsLikeHardware)
+{
+    Ras ras(4);
+    for (uint64_t i = 1; i <= 6; i++)
+        ras.push(i);
+    // Entries 1 and 2 were overwritten; depth capped at 4.
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(RasTest, TopPeeksWithoutPopping)
+{
+    Ras ras(8);
+    ras.push(42);
+    EXPECT_EQ(ras.top(), 42u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(TargetCacheTest, LearnsStableTarget)
+{
+    TargetCache tc(1024);
+    for (int i = 0; i < 8; i++)
+        tc.update(50, 900);
+    EXPECT_EQ(tc.predict(50), 900u);
+}
+
+TEST(TargetCacheTest, HistoryDisambiguatesContexts)
+{
+    // One indirect branch alternating between two targets in a
+    // fixed pattern: path-history indexing should learn both.
+    TargetCache tc(64 * 1024);
+    int correct = 0;
+    for (int i = 0; i < 2000; i++) {
+        uint64_t target = (i % 2) ? 111 : 222;
+        if (i > 100 && tc.predict(50) == target)
+            correct++;
+        tc.update(50, target);
+    }
+    EXPECT_GT(correct, 1700);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the shared functional-unit issue-slot pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fu_pool.hh"
+
+namespace
+{
+
+using ssmt::cpu::FuPool;
+
+TEST(FuPoolTest, GrantsUpToWidthPerCycle)
+{
+    FuPool fu(4, 256);
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(fu.schedule(10), 10u);
+    EXPECT_EQ(fu.schedule(10), 11u);    // fifth spills to next cycle
+}
+
+TEST(FuPoolTest, SpilloverCascades)
+{
+    FuPool fu(1, 256);
+    EXPECT_EQ(fu.schedule(5), 5u);
+    EXPECT_EQ(fu.schedule(5), 6u);
+    EXPECT_EQ(fu.schedule(5), 7u);
+    EXPECT_EQ(fu.schedule(6), 8u);
+}
+
+TEST(FuPoolTest, IndependentCyclesDoNotInterfere)
+{
+    FuPool fu(2, 256);
+    EXPECT_EQ(fu.schedule(100), 100u);
+    EXPECT_EQ(fu.schedule(200), 200u);
+    EXPECT_EQ(fu.schedule(100), 100u);
+    EXPECT_EQ(fu.schedule(100), 101u);
+}
+
+TEST(FuPoolTest, RingWrapReusesSlots)
+{
+    FuPool fu(1, 16);
+    // Cycle 3 and cycle 3+16 share a slot index; scheduling at the
+    // later cycle must not be blocked by the earlier use.
+    EXPECT_EQ(fu.schedule(3), 3u);
+    EXPECT_EQ(fu.schedule(3 + 16), 19u);
+    EXPECT_EQ(fu.schedule(3 + 32), 35u);
+}
+
+TEST(FuPoolTest, CountsGrants)
+{
+    FuPool fu(2, 64);
+    fu.schedule(0);
+    fu.schedule(0);
+    fu.schedule(1);
+    EXPECT_EQ(fu.slotsGranted(), 3u);
+}
+
+TEST(FuPoolDeathTest, NonPow2HorizonPanics)
+{
+    EXPECT_DEATH(FuPool(4, 100), "power of two");
+}
+
+/** Property: N requests at the same cycle occupy ceil(N/width)
+ *  consecutive cycles. */
+class FuPoolWidth : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuPoolWidth, PackingIsTight)
+{
+    int width = GetParam();
+    FuPool fu(width, 1024);
+    int requests = width * 5 + 3;
+    uint64_t max_cycle = 0;
+    for (int i = 0; i < requests; i++)
+        max_cycle = std::max(max_cycle, fu.schedule(50));
+    EXPECT_EQ(max_cycle, 50u + (requests - 1) / width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FuPoolWidth,
+                         testing::Values(1, 2, 4, 8, 16));
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the ProgramBuilder mini-assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/memory_image.hh"
+
+namespace
+{
+
+using namespace ssmt::isa;
+
+TEST(BuilderTest, ForwardLabelResolved)
+{
+    ProgramBuilder b;
+    b.beq(R(1), R(0), "target");
+    b.nop();
+    b.label("target");
+    b.halt();
+    Program p = b.build("t");
+    EXPECT_EQ(p.inst(0).imm, 2);
+}
+
+TEST(BuilderTest, BackwardLabelResolved)
+{
+    ProgramBuilder b;
+    b.label("top");
+    b.nop();
+    b.bne(R(1), R(0), "top");
+    b.halt();
+    Program p = b.build("t");
+    EXPECT_EQ(p.inst(1).imm, 0);
+}
+
+TEST(BuilderTest, HereTracksNextPc)
+{
+    ProgramBuilder b;
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 2u);
+}
+
+TEST(BuilderTest, LabelPcAfterBinding)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.label("mid");
+    b.nop();
+    EXPECT_EQ(b.labelPc("mid"), 1u);
+}
+
+TEST(BuilderTest, JalUsesLinkRegister)
+{
+    ProgramBuilder b;
+    b.jal("fn");
+    b.halt();
+    b.label("fn");
+    b.ret();
+    Program p = b.build("t");
+    EXPECT_EQ(p.inst(0).op, Opcode::Jal);
+    EXPECT_EQ(p.inst(0).rd, kRegLink);
+    EXPECT_EQ(p.inst(0).imm, 2);
+    EXPECT_EQ(p.inst(2).op, Opcode::Jr);
+    EXPECT_EQ(p.inst(2).rs1, kRegLink);
+}
+
+TEST(BuilderTest, MvIsAddWithZero)
+{
+    ProgramBuilder b;
+    b.mv(R(1), R(2));
+    b.halt();
+    Program p = b.build("t");
+    EXPECT_EQ(p.inst(0).op, Opcode::Add);
+    EXPECT_EQ(p.inst(0).rs2, kRegZero);
+}
+
+TEST(BuilderTest, StoreOperandLayout)
+{
+    ProgramBuilder b;
+    b.st(R(5), R(6), 24);
+    b.halt();
+    Program p = b.build("t");
+    EXPECT_EQ(p.inst(0).rs1, R(6));     // base
+    EXPECT_EQ(p.inst(0).rs2, R(5));     // data
+    EXPECT_EQ(p.inst(0).imm, 24);
+    EXPECT_EQ(p.inst(0).rd, kNoReg);
+}
+
+TEST(BuilderTest, DataImageLoaded)
+{
+    ProgramBuilder b;
+    b.initWord(0x1000, 42);
+    b.initWords(0x2000, {1, 2, 3});
+    b.halt();
+    Program p = b.build("t");
+    MemoryImage mem;
+    p.loadData(mem);
+    EXPECT_EQ(mem.load(0x1000), 42u);
+    EXPECT_EQ(mem.load(0x2000), 1u);
+    EXPECT_EQ(mem.load(0x2008), 2u);
+    EXPECT_EQ(mem.load(0x2010), 3u);
+}
+
+TEST(BuilderTest, DataLabelFixupStoresPc)
+{
+    ProgramBuilder b;
+    b.initWordLabel(0x3000, "handler");
+    b.nop();
+    b.nop();
+    b.label("handler");
+    b.halt();
+    Program p = b.build("t");
+    MemoryImage mem;
+    p.loadData(mem);
+    EXPECT_EQ(mem.load(0x3000), 2u);
+}
+
+TEST(BuilderDeathTest, UnboundLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.j("nowhere");
+    EXPECT_EXIT(b.build("t"), testing::ExitedWithCode(1), "nowhere");
+}
+
+TEST(BuilderDeathTest, DuplicateLabelPanics)
+{
+    ProgramBuilder b;
+    b.label("x");
+    b.nop();
+    EXPECT_DEATH(b.label("x"), "duplicate label");
+}
+
+TEST(BuilderTest, DisassembleListsAllInstructions)
+{
+    ProgramBuilder b;
+    b.li(R(1), 7);
+    b.addi(R(1), R(1), 1);
+    b.halt();
+    Program p = b.build("t");
+    std::string listing = p.disassemble();
+    EXPECT_NE(listing.find("ldi"), std::string::npos);
+    EXPECT_NE(listing.find("addi"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+} // namespace

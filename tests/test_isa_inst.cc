@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for opcode classification and the Inst helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+
+namespace
+{
+
+using namespace ssmt::isa;
+
+TEST(OpClassTest, AluOpsAreIntAlu)
+{
+    for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::And,
+                      Opcode::Or, Opcode::Xor, Opcode::Sll,
+                      Opcode::Srl, Opcode::Sra, Opcode::Slt,
+                      Opcode::Sltu, Opcode::Cmpeq, Opcode::Addi,
+                      Opcode::Andi, Opcode::Ori, Opcode::Xori,
+                      Opcode::Slli, Opcode::Srli, Opcode::Srai,
+                      Opcode::Slti, Opcode::Ldi}) {
+        EXPECT_EQ(opClass(op), OpClass::IntAlu) << opcodeName(op);
+    }
+}
+
+TEST(OpClassTest, MulDivLatencies)
+{
+    EXPECT_EQ(opClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClass(Opcode::Div), OpClass::IntDiv);
+    EXPECT_GT(opLatency(Opcode::Div), opLatency(Opcode::Mul));
+    EXPECT_GT(opLatency(Opcode::Mul), opLatency(Opcode::Add));
+    EXPECT_EQ(opLatency(Opcode::Add), 1);
+}
+
+TEST(OpClassTest, MemoryOps)
+{
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::MemRead);
+    EXPECT_EQ(opClass(Opcode::St), OpClass::MemWrite);
+}
+
+TEST(OpClassTest, ControlOps)
+{
+    for (Opcode op : {Opcode::Beq, Opcode::Bne, Opcode::Blt,
+                      Opcode::Bge, Opcode::Bltu, Opcode::Bgeu,
+                      Opcode::J, Opcode::Jal, Opcode::Jr,
+                      Opcode::Jalr}) {
+        EXPECT_TRUE(isControl(op)) << opcodeName(op);
+    }
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_FALSE(isControl(Opcode::Halt));
+}
+
+TEST(OpClassTest, CondBranchSubset)
+{
+    for (Opcode op : {Opcode::Beq, Opcode::Bne, Opcode::Blt,
+                      Opcode::Bge, Opcode::Bltu, Opcode::Bgeu}) {
+        EXPECT_TRUE(isCondBranch(op)) << opcodeName(op);
+    }
+    EXPECT_FALSE(isCondBranch(Opcode::J));
+    EXPECT_FALSE(isCondBranch(Opcode::Jr));
+}
+
+TEST(OpClassTest, IndirectSubset)
+{
+    EXPECT_TRUE(isIndirect(Opcode::Jr));
+    EXPECT_TRUE(isIndirect(Opcode::Jalr));
+    EXPECT_FALSE(isIndirect(Opcode::J));
+    EXPECT_FALSE(isIndirect(Opcode::Beq));
+}
+
+TEST(OpClassTest, MicroOnlySubset)
+{
+    EXPECT_TRUE(isMicroOnly(Opcode::StPCache));
+    EXPECT_TRUE(isMicroOnly(Opcode::VpInst));
+    EXPECT_TRUE(isMicroOnly(Opcode::ApInst));
+    EXPECT_FALSE(isMicroOnly(Opcode::Add));
+}
+
+TEST(OpClassTest, EveryOpcodeHasAName)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); i++) {
+        const char *name = opcodeName(static_cast<Opcode>(i));
+        EXPECT_NE(name, nullptr);
+        EXPECT_STRNE(name, "???");
+    }
+}
+
+TEST(InstTest, TerminatingBranchDefinition)
+{
+    Inst beq{Opcode::Beq, kNoReg, 1, 2, 5};
+    Inst jr{Opcode::Jr, kNoReg, 1, kNoReg, 0};
+    Inst j{Opcode::J, kNoReg, kNoReg, kNoReg, 5};
+    Inst jal{Opcode::Jal, kRegLink, kNoReg, kNoReg, 5};
+    EXPECT_TRUE(beq.isTerminatingBranch());
+    EXPECT_TRUE(jr.isTerminatingBranch());
+    EXPECT_FALSE(j.isTerminatingBranch());
+    EXPECT_FALSE(jal.isTerminatingBranch());
+}
+
+TEST(InstTest, NumSrcsCountsUsedOperands)
+{
+    Inst add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_EQ(add.numSrcs(), 2);
+    Inst addi{Opcode::Addi, 1, 2, kNoReg, 5};
+    EXPECT_EQ(addi.numSrcs(), 1);
+    Inst ldi{Opcode::Ldi, 1, kNoReg, kNoReg, 5};
+    EXPECT_EQ(ldi.numSrcs(), 0);
+}
+
+TEST(InstTest, WritesRegExcludesZeroAndNone)
+{
+    Inst to_r1{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_TRUE(to_r1.writesReg());
+    Inst to_zero{Opcode::Add, kRegZero, 2, 3, 0};
+    EXPECT_FALSE(to_zero.writesReg());
+    Inst store{Opcode::St, kNoReg, 1, 2, 0};
+    EXPECT_FALSE(store.writesReg());
+}
+
+TEST(InstTest, ToStringContainsMnemonic)
+{
+    Inst add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_NE(add.toString().find("add"), std::string::npos);
+    Inst ld{Opcode::Ld, 1, 2, kNoReg, 16};
+    EXPECT_NE(ld.toString().find("16(r2)"), std::string::npos);
+    Inst beq{Opcode::Beq, kNoReg, 1, 2, 42};
+    EXPECT_NE(beq.toString().find("#42"), std::string::npos);
+}
+
+} // namespace

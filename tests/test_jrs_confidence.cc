@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the JRS confidence estimator (paper reference [10]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/jrs_confidence.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using ssmt::bpred::JrsConfidence;
+
+TEST(JrsTest, StartsLowConfidence)
+{
+    JrsConfidence jrs(256, 4, 15);
+    EXPECT_FALSE(jrs.highConfidence(10, 0));
+    EXPECT_EQ(jrs.count(10, 0), 0);
+}
+
+TEST(JrsTest, ConfidenceBuildsWithCorrectStreak)
+{
+    JrsConfidence jrs(256, 4, 15);
+    for (int i = 0; i < 3; i++)
+        jrs.update(10, 0, true);
+    EXPECT_FALSE(jrs.highConfidence(10, 0));
+    jrs.update(10, 0, true);
+    EXPECT_TRUE(jrs.highConfidence(10, 0));
+}
+
+TEST(JrsTest, MispredictResetsToZero)
+{
+    JrsConfidence jrs(256, 4, 15);
+    for (int i = 0; i < 10; i++)
+        jrs.update(10, 0, true);
+    ASSERT_TRUE(jrs.highConfidence(10, 0));
+    jrs.update(10, 0, false);
+    EXPECT_FALSE(jrs.highConfidence(10, 0));
+    EXPECT_EQ(jrs.count(10, 0), 0);
+}
+
+TEST(JrsTest, CounterSaturates)
+{
+    JrsConfidence jrs(256, 4, 15);
+    for (int i = 0; i < 100; i++)
+        jrs.update(10, 0, true);
+    EXPECT_EQ(jrs.count(10, 0), 15);
+}
+
+TEST(JrsTest, ContextsAreIndependent)
+{
+    // The point of path-indexed confidence: the same static branch
+    // can be high-confidence on one path and low on another.
+    JrsConfidence jrs(4096, 4, 15);
+    uint64_t easy_path = 0x1111;
+    uint64_t hard_path = 0x2222;
+    for (int i = 0; i < 16; i++) {
+        jrs.update(10, easy_path, true);
+        jrs.update(10, hard_path, i % 2 == 0);
+    }
+    EXPECT_TRUE(jrs.highConfidence(10, easy_path));
+    EXPECT_FALSE(jrs.highConfidence(10, hard_path));
+}
+
+TEST(JrsTest, PathIndexedBeatsPcIndexedOnPathSkew)
+{
+    // Synthetic stream: branch 10 is always-correct on path A and a
+    // coin flip on path B. Path-indexed confidence separates them;
+    // pc-indexed confidence (history = 0) cannot.
+    JrsConfidence by_path(4096, 8, 15);
+    JrsConfidence by_pc(4096, 8, 15);
+    ssmt::workloads::Rng rng(3);
+    uint64_t low_conf_misses_path = 0;
+    uint64_t misses_at_high_conf_path = 0;
+    uint64_t misses_at_high_conf_pc = 0;
+    uint64_t total_misses = 0;
+    for (int i = 0; i < 50000; i++) {
+        bool on_a = rng.chance(50);
+        uint64_t path = on_a ? 0xAAAA : 0xBBBB;
+        bool correct = on_a ? true : rng.chance(50);
+        if (!correct) {
+            total_misses++;
+            if (by_path.highConfidence(10, path))
+                misses_at_high_conf_path++;
+            else
+                low_conf_misses_path++;
+            if (by_pc.highConfidence(10, 0))
+                misses_at_high_conf_pc++;
+        }
+        by_path.update(10, path, correct);
+        by_pc.update(10, 0, correct);
+    }
+    ASSERT_GT(total_misses, 1000u);
+    // Path indexing: essentially no misprediction sneaks in as
+    // high-confidence (path B never builds an 8-streak often).
+    EXPECT_LT(static_cast<double>(misses_at_high_conf_path) /
+                  total_misses,
+              0.02);
+    // pc indexing cannot do better than the path split allows; it
+    // must leak at least as many high-confidence misses.
+    EXPECT_GE(misses_at_high_conf_pc, misses_at_high_conf_path);
+}
+
+TEST(JrsDeathTest, BadGeometryPanics)
+{
+    EXPECT_DEATH(JrsConfidence(1000, 4, 15), "power of two");
+    EXPECT_DEATH(JrsConfidence(1024, 20, 15), "threshold");
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the PAs per-address two-level predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/pas.hh"
+
+namespace
+{
+
+using ssmt::bpred::Pas;
+
+TEST(PasTest, LearnsBias)
+{
+    Pas p;
+    for (int i = 0; i < 64; i++)
+        p.update(7, true);
+    EXPECT_TRUE(p.predict(7));
+}
+
+/** PAs' signature ability: periodic local patterns. */
+class PasPeriodic : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PasPeriodic, LearnsPeriodKPattern)
+{
+    int period = GetParam();
+    Pas p(1024, 12, 64 * 1024);
+    // Pattern: taken once every `period` occurrences.
+    int correct = 0;
+    int total = 0;
+    for (int i = 0; i < 6000; i++) {
+        bool dir = (i % period) == 0;
+        if (i > 2000) {
+            total++;
+            if (p.predict(42) == dir)
+                correct++;
+        }
+        p.update(42, dir);
+    }
+    EXPECT_GT(correct, total * 95 / 100) << "period " << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PasPeriodic,
+                         testing::Values(2, 3, 4, 6, 8, 11));
+
+TEST(PasTest, LocalHistoryTracksPerBranch)
+{
+    Pas p;
+    p.update(1, true);
+    p.update(1, false);
+    p.update(2, true);
+    EXPECT_EQ(p.localHistory(1), 0b10u);
+    EXPECT_EQ(p.localHistory(2), 0b1u);
+}
+
+TEST(PasTest, IndependentBranchesDoNotShareHistory)
+{
+    Pas p(1024, 12, 64 * 1024);
+    // Branch 100 always taken, branch 101 always not taken.
+    for (int i = 0; i < 64; i++) {
+        p.update(100, true);
+        p.update(101, false);
+    }
+    EXPECT_TRUE(p.predict(100));
+    EXPECT_FALSE(p.predict(101));
+}
+
+} // namespace

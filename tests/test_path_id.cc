@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the Path_Id shift-XOR hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/path_id.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt::core;
+
+TEST(PathIdTest, EmptyPathHashesToZero)
+{
+    EXPECT_EQ(hashPath({}), 0u);
+}
+
+TEST(PathIdTest, OrderMatters)
+{
+    std::vector<uint64_t> abc = {0x40, 0x80, 0xc0};
+    std::vector<uint64_t> cba = {0xc0, 0x80, 0x40};
+    EXPECT_NE(hashPath(abc), hashPath(cba));
+}
+
+TEST(PathIdTest, IncrementalEqualsBatch)
+{
+    std::vector<uint64_t> path = {4, 8, 16, 120, 4, 8};
+    PathId h = 0;
+    for (uint64_t addr : path)
+        h = hashStep(h, addr);
+    EXPECT_EQ(h, hashPath(path));
+}
+
+TEST(PathIdTest, DifferentLengthPathsDiffer)
+{
+    std::vector<uint64_t> shorter = {8, 16};
+    std::vector<uint64_t> longer = {8, 16, 0};
+    // Appending even a zero address changes the hash (rotation).
+    EXPECT_NE(hashPath(shorter), hashPath(longer));
+}
+
+TEST(PathIdTest, SingleElementIsIdentityOfAddress)
+{
+    EXPECT_EQ(hashPath(std::vector<uint64_t>{0x1234}), 0x1234u);
+}
+
+TEST(PathIdTest, RandomPathsRarelyCollide)
+{
+    // 20k random 10-element paths: with a 64-bit hash, any collision
+    // at all would indicate a broken mix.
+    ssmt::workloads::Rng rng(42);
+    std::set<PathId> seen;
+    for (int i = 0; i < 20000; i++) {
+        std::vector<uint64_t> path;
+        for (int j = 0; j < 10; j++)
+            path.push_back(rng.nextBelow(1 << 20) * 4);
+        seen.insert(hashPath(path));
+    }
+    EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(PathIdTest, NeighbouringBranchAddressesSeparate)
+{
+    // Adjacent branch addresses (common in real code) must hash
+    // apart for every position in the path.
+    std::vector<uint64_t> base = {400, 800, 1200, 1600};
+    PathId h0 = hashPath(base);
+    for (size_t i = 0; i < base.size(); i++) {
+        auto variant = base;
+        variant[i] += 4;
+        EXPECT_NE(hashPath(variant), h0) << "position " << i;
+    }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Prediction Cache (paper Section 4.3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prediction_cache.hh"
+
+namespace
+{
+
+using namespace ssmt::core;
+
+TEST(PredictionCacheTest, WriteThenLookup)
+{
+    PredictionCache pc(8);
+    pc.write(0xAB, 100, true, 55, 9);
+    const PredEntry *entry = pc.lookup(0xAB, 100);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->taken);
+    EXPECT_EQ(entry->target, 55u);
+    EXPECT_EQ(entry->writeCycle, 9u);
+}
+
+TEST(PredictionCacheTest, KeyIsPathIdAndSeqNum)
+{
+    PredictionCache pc(8);
+    pc.write(0xAB, 100, true, 55, 9);
+    EXPECT_EQ(pc.lookup(0xAB, 101), nullptr);
+    EXPECT_EQ(pc.lookup(0xAC, 100), nullptr);
+}
+
+TEST(PredictionCacheTest, OverwriteSameKey)
+{
+    PredictionCache pc(8);
+    pc.write(1, 10, true, 5, 1);
+    pc.write(1, 10, false, 6, 2);
+    const PredEntry *entry = pc.lookup(1, 10);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_FALSE(entry->taken);
+    EXPECT_EQ(pc.overwrites(), 1u);
+    EXPECT_EQ(pc.occupancy(), 1u);
+}
+
+TEST(PredictionCacheTest, EvictsOldestSeqWhenFull)
+{
+    PredictionCache pc(2);
+    pc.write(1, 10, true, 0, 0);
+    pc.write(1, 20, true, 0, 0);
+    pc.write(1, 30, true, 0, 0);    // evicts seq 10
+    EXPECT_EQ(pc.lookup(1, 10), nullptr);
+    EXPECT_NE(pc.lookup(1, 20), nullptr);
+    EXPECT_NE(pc.lookup(1, 30), nullptr);
+    EXPECT_EQ(pc.evictions(), 1u);
+}
+
+TEST(PredictionCacheTest, ReclaimStaleCountsUnconsumed)
+{
+    PredictionCache pc(8);
+    pc.write(1, 10, true, 0, 0);
+    pc.write(1, 20, true, 0, 0);
+    pc.markConsumed(1, 10);
+    pc.reclaimOlderThan(25);
+    // Both reclaimed; only seq 20 was never consumed.
+    EXPECT_EQ(pc.reclaimedUnconsumed(), 1u);
+    EXPECT_EQ(pc.occupancy(), 0u);
+}
+
+TEST(PredictionCacheTest, ReclaimSparesYoungEntries)
+{
+    PredictionCache pc(8);
+    pc.write(1, 10, true, 0, 0);
+    pc.write(1, 50, true, 0, 0);
+    pc.reclaimOlderThan(30);
+    EXPECT_EQ(pc.lookup(1, 10), nullptr);
+    EXPECT_NE(pc.lookup(1, 50), nullptr);
+}
+
+TEST(PredictionCacheTest, HitAndLookupStats)
+{
+    PredictionCache pc(8);
+    pc.write(1, 10, true, 0, 0);
+    pc.lookup(1, 10);
+    pc.lookup(1, 99);
+    EXPECT_EQ(pc.lookups(), 2u);
+    EXPECT_EQ(pc.lookupHits(), 1u);
+    EXPECT_EQ(pc.writes(), 1u);
+}
+
+TEST(PredictionCacheTest, ClearResetsEntries)
+{
+    PredictionCache pc(8);
+    pc.write(1, 10, true, 0, 0);
+    pc.clear();
+    EXPECT_EQ(pc.occupancy(), 0u);
+    EXPECT_EQ(pc.lookup(1, 10), nullptr);
+}
+
+TEST(PredictionCacheTest, SmallCacheSustainsStream)
+{
+    // The paper's point: 128 entries suffice because stale entries
+    // reclaim quickly. Simulate a moving front-end.
+    PredictionCache pc(16);
+    for (uint64_t seq = 0; seq < 1000; seq++) {
+        pc.write(7, seq + 20, seq % 2 == 0, 0, seq);
+        const PredEntry *entry = pc.lookup(7, seq + 20);
+        ASSERT_NE(entry, nullptr);
+        pc.markConsumed(7, seq + 20);
+        pc.reclaimOlderThan(seq);
+    }
+    EXPECT_EQ(pc.reclaimedUnconsumed(), 0u);
+    EXPECT_LE(pc.occupancy(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the text-report helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+
+namespace
+{
+
+using namespace ssmt::sim;
+
+TEST(ReportTest, AsciiBarScales)
+{
+    EXPECT_EQ(asciiBar(0.0, 0.1), "");
+    EXPECT_EQ(asciiBar(0.5, 0.1), "#####");
+    EXPECT_EQ(asciiBar(1.0, 0.5), "##");
+}
+
+TEST(ReportTest, AsciiBarCaps)
+{
+    EXPECT_EQ(asciiBar(1000.0, 1.0, 10).size(), 10u);
+}
+
+TEST(ReportTest, AsciiBarNegativeAndZeroUnit)
+{
+    EXPECT_EQ(asciiBar(-1.0, 0.1), "");
+    EXPECT_EQ(asciiBar(5.0, 0.0), "");
+}
+
+TEST(ReportTest, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(ReportTest, FmtDecimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt(0.5, 3), "0.500");
+}
+
+TEST(ReportTest, Rule)
+{
+    EXPECT_EQ(rule(4), "----");
+    EXPECT_EQ(rule(0), "");
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the saturating counters underlying every predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/sat_counter.hh"
+
+namespace
+{
+
+using ssmt::bpred::SatCounter;
+
+TEST(SatCounterTest, InitializesWeaklyTaken)
+{
+    SatCounter<2> c;
+    EXPECT_TRUE(c.predictTaken());
+    EXPECT_EQ(c.value(), 2);
+}
+
+TEST(SatCounterTest, SaturatesHigh)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; i++)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounterTest, SaturatesLow)
+{
+    SatCounter<2> c;
+    for (int i = 0; i < 10; i++)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_TRUE(c.saturated());
+    EXPECT_FALSE(c.predictTaken());
+}
+
+TEST(SatCounterTest, HysteresisNeedsTwoFlips)
+{
+    SatCounter<2> c;           // starts at 2 (weakly taken)
+    c.update(true);             // 3
+    c.update(false);            // 2: still predicts taken
+    EXPECT_TRUE(c.predictTaken());
+    c.update(false);            // 1: now predicts not taken
+    EXPECT_FALSE(c.predictTaken());
+}
+
+template <int Bits>
+void
+sweepWidth()
+{
+    SatCounter<Bits> c;
+    for (int i = 0; i < (1 << Bits) + 4; i++)
+        c.increment();
+    EXPECT_EQ(c.value(), (1 << Bits) - 1);
+    for (int i = 0; i < (1 << Bits) + 4; i++)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounterTest, WidthSweep)
+{
+    sweepWidth<1>();
+    sweepWidth<2>();
+    sweepWidth<3>();
+    sweepWidth<4>();
+}
+
+TEST(SatCounterTest, ExplicitInitialValue)
+{
+    SatCounter<3> c(0);
+    EXPECT_FALSE(c.predictTaken());
+    SatCounter<3> d(7);
+    EXPECT_TRUE(d.predictTaken());
+    EXPECT_TRUE(d.saturated());
+}
+
+} // namespace

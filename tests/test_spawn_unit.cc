@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for spawn-time prefix checking and the in-flight abort
+ * mechanism (paper Section 4.3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spawn_unit.hh"
+
+namespace
+{
+
+using namespace ssmt::core;
+using namespace ssmt::isa;
+
+MicroThread
+threadWith(std::vector<ExpectedBranch> prefix,
+           std::vector<ExpectedBranch> expected)
+{
+    MicroThread t;
+    t.prefix = std::move(prefix);
+    t.expected = std::move(expected);
+    return t;
+}
+
+TEST(PrefixMatchTest, EmptyPrefixAlwaysMatches)
+{
+    PathTracker tracker(16);
+    MicroThread t = threadWith({}, {});
+    EXPECT_TRUE(prefixMatches(t, tracker));
+}
+
+TEST(PrefixMatchTest, MatchingHistoryAccepted)
+{
+    PathTracker tracker(16);
+    tracker.push(10 * kInstBytes);
+    tracker.push(20 * kInstBytes);
+    MicroThread t = threadWith({{10, 0}, {20, 0}}, {});
+    EXPECT_TRUE(prefixMatches(t, tracker));
+}
+
+TEST(PrefixMatchTest, OrderSensitive)
+{
+    PathTracker tracker(16);
+    tracker.push(20 * kInstBytes);
+    tracker.push(10 * kInstBytes);
+    MicroThread t = threadWith({{10, 0}, {20, 0}}, {});
+    EXPECT_FALSE(prefixMatches(t, tracker));
+}
+
+TEST(PrefixMatchTest, ExtraOlderHistoryIgnored)
+{
+    PathTracker tracker(16);
+    tracker.push(99 * kInstBytes);      // unrelated older branch
+    tracker.push(10 * kInstBytes);
+    tracker.push(20 * kInstBytes);
+    MicroThread t = threadWith({{10, 0}, {20, 0}}, {});
+    EXPECT_TRUE(prefixMatches(t, tracker));
+}
+
+TEST(PrefixMatchTest, InterveningBranchRejects)
+{
+    PathTracker tracker(16);
+    tracker.push(10 * kInstBytes);
+    tracker.push(20 * kInstBytes);
+    tracker.push(99 * kInstBytes);      // a taken branch off-path
+    MicroThread t = threadWith({{10, 0}, {20, 0}}, {});
+    EXPECT_FALSE(prefixMatches(t, tracker));
+}
+
+TEST(PrefixMatchTest, ShortHistoryRejects)
+{
+    PathTracker tracker(16);
+    tracker.push(20 * kInstBytes);
+    MicroThread t = threadWith({{10, 0}, {20, 0}}, {});
+    EXPECT_FALSE(prefixMatches(t, tracker));
+}
+
+TEST(PathMatcherTest, EmptyExpectedIsCompleteImmediately)
+{
+    MicroThread t = threadWith({}, {});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.status(), PathMatcher::Status::Complete);
+}
+
+TEST(PathMatcherTest, FollowsPathToCompletion)
+{
+    MicroThread t = threadWith({}, {{10, 50}, {60, 80}});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.onControlFlow(10, true, 50),
+              PathMatcher::Status::Live);
+    EXPECT_EQ(matcher.onControlFlow(60, true, 80),
+              PathMatcher::Status::Complete);
+    EXPECT_EQ(matcher.matched(), 2u);
+}
+
+TEST(PathMatcherTest, WrongTakenBranchDeviates)
+{
+    MicroThread t = threadWith({}, {{10, 50}});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.onControlFlow(99, true, 100),
+              PathMatcher::Status::Deviated);
+}
+
+TEST(PathMatcherTest, WrongTargetDeviates)
+{
+    // Same branch pc but an indirect jump went elsewhere.
+    MicroThread t = threadWith({}, {{10, 50}});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.onControlFlow(10, true, 70),
+              PathMatcher::Status::Deviated);
+}
+
+TEST(PathMatcherTest, ExpectedBranchNotTakenDeviates)
+{
+    MicroThread t = threadWith({}, {{10, 50}});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.onControlFlow(10, false, 0),
+              PathMatcher::Status::Deviated);
+}
+
+TEST(PathMatcherTest, UnrelatedNotTakenBranchesIgnored)
+{
+    MicroThread t = threadWith({}, {{10, 50}});
+    PathMatcher matcher(&t);
+    EXPECT_EQ(matcher.onControlFlow(7, false, 0),
+              PathMatcher::Status::Live);
+    EXPECT_EQ(matcher.onControlFlow(8, false, 0),
+              PathMatcher::Status::Live);
+    EXPECT_EQ(matcher.onControlFlow(10, true, 50),
+              PathMatcher::Status::Complete);
+}
+
+TEST(PathMatcherTest, DeviationIsSticky)
+{
+    MicroThread t = threadWith({}, {{10, 50}, {60, 80}});
+    PathMatcher matcher(&t);
+    matcher.onControlFlow(99, true, 100);
+    EXPECT_EQ(matcher.onControlFlow(10, true, 50),
+              PathMatcher::Status::Deviated);
+}
+
+TEST(PathMatcherTest, CompletionIsSticky)
+{
+    MicroThread t = threadWith({}, {{10, 50}});
+    PathMatcher matcher(&t);
+    matcher.onControlFlow(10, true, 50);
+    EXPECT_EQ(matcher.onControlFlow(99, true, 100),
+              PathMatcher::Status::Complete);
+}
+
+} // namespace

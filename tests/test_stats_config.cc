@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for Stats derived metrics and MachineConfig reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_config.hh"
+#include "sim/sim_runner.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace ssmt::sim;
+
+TEST(StatsTest, IpcHandlesZeroCycles)
+{
+    Stats s;
+    EXPECT_EQ(s.ipc(), 0.0);
+    s.cycles = 100;
+    s.retiredInsts = 250;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+}
+
+TEST(StatsTest, MispredictRates)
+{
+    Stats s;
+    s.condBranches = 90;
+    s.condHwMispredicts = 9;
+    s.indirectBranches = 10;
+    s.indirectHwMispredicts = 1;
+    EXPECT_DOUBLE_EQ(s.hwMispredictRate(), 0.10);
+    s.usedMispredicts = 5;
+    EXPECT_DOUBLE_EQ(s.usedMispredictRate(), 0.05);
+}
+
+TEST(StatsTest, AbortRates)
+{
+    Stats s;
+    s.spawnAttempts = 100;
+    s.spawnAbortPrefix = 60;
+    s.spawnNoContext = 7;
+    s.spawns = 33;
+    s.abortsPostSpawn = 22;
+    EXPECT_DOUBLE_EQ(s.preAllocationAbortRate(), 0.67);
+    EXPECT_NEAR(s.postSpawnAbortRate(), 0.6667, 1e-3);
+}
+
+TEST(StatsTest, ReportMentionsKeyFields)
+{
+    Stats s;
+    s.cycles = 10;
+    s.retiredInsts = 20;
+    std::string rep = s.report();
+    EXPECT_NE(rep.find("IPC"), std::string::npos);
+    EXPECT_NE(rep.find("retired insts"), std::string::npos);
+}
+
+TEST(ConfigTest, DefaultsMatchTable3)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.fetchWidth, 16);
+    EXPECT_EQ(cfg.windowSize, 512);
+    EXPECT_EQ(cfg.numFUs, 16);
+    EXPECT_EQ(cfg.maxBranchPredsPerCycle, 3);
+    EXPECT_EQ(cfg.frontendDepth + cfg.redirectPenalty, 20);
+    EXPECT_EQ(cfg.mem.l1dSize, 64u * 1024);
+    EXPECT_EQ(cfg.mem.l2Size, 1024u * 1024);
+    EXPECT_EQ(cfg.bpredComponentEntries, 128u * 1024);
+    EXPECT_EQ(cfg.bpredSelectorEntries, 64u * 1024);
+    EXPECT_EQ(cfg.rasDepth, 32u);
+}
+
+TEST(ConfigTest, MechanismDefaultsMatchSection5)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.pathN, 10);
+    EXPECT_DOUBLE_EQ(cfg.difficultyThreshold, 0.10);
+    EXPECT_EQ(cfg.pathCacheEntries, 8192u);
+    EXPECT_EQ(cfg.trainingInterval, 32u);
+    EXPECT_EQ(cfg.microRamEntries, 8192u);
+    EXPECT_EQ(cfg.predictionCacheEntries, 128u);
+    EXPECT_EQ(cfg.prbEntries, 512u);
+    EXPECT_EQ(cfg.buildLatency, 100);
+}
+
+TEST(ConfigTest, ToStringMentionsMode)
+{
+    MachineConfig cfg;
+    cfg.mode = Mode::Microthread;
+    EXPECT_NE(cfg.toString().find("microthread"), std::string::npos);
+    EXPECT_NE(cfg.toString().find("512-entry window"),
+              std::string::npos);
+}
+
+TEST(ConfigTest, ModeNames)
+{
+    EXPECT_STREQ(modeName(Mode::Baseline), "baseline");
+    EXPECT_STREQ(modeName(Mode::OracleDifficultPath),
+                 "oracle-difficult-path");
+    EXPECT_STREQ(modeName(Mode::Microthread), "microthread");
+    EXPECT_STREQ(modeName(Mode::MicrothreadNoPredictions),
+                 "microthread-no-predictions");
+}
+
+TEST(RunnerTest, GeomeanAndMean)
+{
+    std::vector<double> v = {1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+} // namespace

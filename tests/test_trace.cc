@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the pipeline event trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ssmt_core.hh"
+#include "cpu/trace.hh"
+#include "sim/sim_runner.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+using cpu::PipelineTrace;
+using cpu::TraceEvent;
+using cpu::TraceRecord;
+
+TEST(TraceTest, DisabledByDefaultAndRecordsNothing)
+{
+    PipelineTrace trace;
+    EXPECT_FALSE(trace.enabled());
+    trace.record(1, TraceEvent::Fetch, 2, 3);
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(TraceTest, RecordsInOrder)
+{
+    PipelineTrace trace(8);
+    trace.record(10, TraceEvent::Fetch, 1, 100);
+    trace.record(11, TraceEvent::Mispredict, 1, 100);
+    trace.record(30, TraceEvent::Retire, 1, 100);
+    auto records = trace.records();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].event, TraceEvent::Fetch);
+    EXPECT_EQ(records[1].event, TraceEvent::Mispredict);
+    EXPECT_EQ(records[2].cycle, 30u);
+}
+
+TEST(TraceTest, RingKeepsNewest)
+{
+    PipelineTrace trace(4);
+    for (uint64_t i = 0; i < 10; i++)
+        trace.record(i, TraceEvent::Fetch, i, i);
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.totalRecorded(), 10u);
+    auto records = trace.records();
+    EXPECT_EQ(records.front().cycle, 6u);
+    EXPECT_EQ(records.back().cycle, 9u);
+}
+
+TEST(TraceTest, ClearResets)
+{
+    PipelineTrace trace(4);
+    trace.record(1, TraceEvent::Spawn);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalRecorded(), 0u);
+}
+
+TEST(TraceTest, EveryEventHasAName)
+{
+    for (int e = 0; e <= static_cast<int>(TraceEvent::BogusRecovery);
+         e++) {
+        EXPECT_STRNE(traceEventName(static_cast<TraceEvent>(e)), "?");
+    }
+}
+
+TEST(TraceTest, RecordToStringMentionsEvent)
+{
+    TraceRecord record{5, TraceEvent::Promote, 0, 0, 0xabcd};
+    std::string text = record.toString();
+    EXPECT_NE(text.find("promote"), std::string::npos);
+    EXPECT_NE(text.find("abcd"), std::string::npos);
+}
+
+TEST(TraceTest, CoreEmitsMechanismEvents)
+{
+    workloads::SyntheticSpec spec;
+    spec.takenPercent = {0, 100, 80, 80};
+    spec.iters = 100;
+    isa::Program prog = workloads::makeSynthetic(spec);
+    sim::MachineConfig cfg;
+    cfg.mode = sim::Mode::Microthread;
+    cfg.traceCapacity = 1 << 16;
+    cpu::SsmtCore core(prog, cfg);
+    core.run();
+
+    ASSERT_TRUE(core.trace().enabled());
+    bool saw_fetch = false, saw_retire = false, saw_spawn = false,
+         saw_promote = false;
+    uint64_t prev_cycle = 0;
+    for (const TraceRecord &record : core.trace().records()) {
+        EXPECT_GE(record.cycle, prev_cycle);    // time-ordered
+        prev_cycle = record.cycle;
+        switch (record.event) {
+          case TraceEvent::Fetch: saw_fetch = true; break;
+          case TraceEvent::Retire: saw_retire = true; break;
+          case TraceEvent::Spawn: saw_spawn = true; break;
+          case TraceEvent::Promote: saw_promote = true; break;
+          default: break;
+        }
+    }
+    EXPECT_TRUE(saw_fetch);
+    EXPECT_TRUE(saw_retire);
+    EXPECT_TRUE(saw_spawn || saw_promote);
+}
+
+TEST(TraceTest, TracingDoesNotPerturbTiming)
+{
+    isa::Program prog =
+        workloads::makeSynthetic(workloads::SyntheticSpec{});
+    sim::MachineConfig cfg;
+    cfg.mode = sim::Mode::Microthread;
+    sim::Stats off = sim::runProgram(prog, cfg);
+    cfg.traceCapacity = 4096;
+    sim::Stats on = sim::runProgram(prog, cfg);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.spawns, on.spawns);
+}
+
+} // namespace

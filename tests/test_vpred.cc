@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the constant/stride value predictor with confidence and
+ * k-ahead queries (the pruning substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpred/value_predictor.hh"
+
+namespace
+{
+
+using ssmt::vpred::ValuePredictor;
+
+TEST(VpredTest, LearnsConstant)
+{
+    ValuePredictor vp(256, 7, 4);
+    for (int i = 0; i < 8; i++)
+        vp.train(10, 42);
+    EXPECT_TRUE(vp.confident(10));
+    EXPECT_EQ(vp.stride(10), 0);
+    EXPECT_EQ(vp.predict(10, 1), 42u);
+    EXPECT_EQ(vp.predict(10, 5), 42u);
+}
+
+TEST(VpredTest, LearnsStride)
+{
+    ValuePredictor vp(256, 7, 4);
+    for (uint64_t v = 100; v <= 180; v += 8)
+        vp.train(10, v);
+    EXPECT_TRUE(vp.confident(10));
+    EXPECT_EQ(vp.stride(10), 8);
+    EXPECT_EQ(vp.predict(10, 1), 188u);
+    EXPECT_EQ(vp.predict(10, 3), 204u);
+}
+
+TEST(VpredTest, NegativeStride)
+{
+    ValuePredictor vp(256, 7, 4);
+    for (int i = 0; i < 10; i++)
+        vp.train(10, 1000 - 16 * i);
+    EXPECT_EQ(vp.stride(10), -16);
+    EXPECT_EQ(vp.predict(10, 2), 1000u - 16 * 9 - 32);
+}
+
+TEST(VpredTest, StrideChangeResetsConfidence)
+{
+    ValuePredictor vp(256, 7, 4);
+    for (int i = 0; i < 10; i++)
+        vp.train(10, i * 4);
+    ASSERT_TRUE(vp.confident(10));
+    vp.train(10, 9999);     // break the stride
+    EXPECT_FALSE(vp.confident(10));
+    EXPECT_EQ(vp.confidence(10), 0);
+}
+
+TEST(VpredTest, ConfidenceThresholdHonored)
+{
+    ValuePredictor vp(256, 7, 5);
+    vp.train(10, 0);
+    for (int i = 1; i <= 4; i++) {
+        vp.train(10, 0);
+        // i stride-confirmations so far.
+        EXPECT_EQ(vp.confident(10), i >= 5) << i;
+    }
+    vp.train(10, 0);
+    EXPECT_TRUE(vp.confident(10));
+}
+
+TEST(VpredTest, ConfidenceSaturates)
+{
+    ValuePredictor vp(256, 7, 4);
+    for (int i = 0; i < 100; i++)
+        vp.train(10, 5);
+    EXPECT_EQ(vp.confidence(10), 7);
+}
+
+TEST(VpredTest, TagMismatchIsNotConfident)
+{
+    ValuePredictor vp(16, 7, 4);        // tiny: forces aliasing
+    for (int i = 0; i < 8; i++)
+        vp.train(5, 42);
+    // pc 21 aliases to the same entry (21 & 15 == 5) but the tag
+    // check must reject it.
+    EXPECT_FALSE(vp.confident(21));
+    EXPECT_EQ(vp.predict(21), 0u);
+}
+
+TEST(VpredTest, AliasingReplacesEntry)
+{
+    ValuePredictor vp(16, 7, 4);
+    for (int i = 0; i < 8; i++)
+        vp.train(5, 42);
+    vp.train(21, 7);        // evicts pc 5's entry
+    EXPECT_FALSE(vp.confident(5));
+    vp.train(21, 7);
+    EXPECT_EQ(vp.predict(21, 1), 7u);
+}
+
+TEST(VpredTest, UnknownPcPredictsZeroUnconfident)
+{
+    ValuePredictor vp(256, 7, 4);
+    EXPECT_FALSE(vp.confident(123));
+    EXPECT_EQ(vp.predict(123), 0u);
+    EXPECT_EQ(vp.confidence(123), 0);
+}
+
+/** Property: for any stride s, predict(pc, k) - lastValue == s*k. */
+class VpredStrideSweep : public testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(VpredStrideSweep, AheadIsLinear)
+{
+    int64_t stride = GetParam();
+    ValuePredictor vp(256, 7, 4);
+    uint64_t v = 1 << 20;
+    for (int i = 0; i < 10; i++) {
+        vp.train(3, v);
+        v += static_cast<uint64_t>(stride);
+    }
+    uint64_t last = v - static_cast<uint64_t>(stride);
+    for (uint64_t k = 1; k <= 6; k++) {
+        EXPECT_EQ(vp.predict(3, k),
+                  last + static_cast<uint64_t>(stride) * k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, VpredStrideSweep,
+                         testing::Values(0, 1, 8, -8, 24, -104, 4096));
+
+} // namespace
