@@ -15,37 +15,46 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    std::vector<std::string> names =
-        quick ? std::vector<std::string>{"comp", "go"}
-              : std::vector<std::string>{"comp", "go", "perl",
-                                         "crafty_2k", "twolf_2k"};
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::suiteFromNames(
+        args.quick ? std::vector<std::string>{"comp", "go"}
+                   : std::vector<std::string>{"comp", "go", "perl",
+                                              "crafty_2k",
+                                              "twolf_2k"});
+    bench::SuiteRun suite_run("ablation_buildlat", args);
+
+    const int lats[] = {0, 10, 100, 1000, 10000, 100000};
+    std::vector<bench::ConfigVariant> variants;
+    variants.push_back({"baseline", sim::MachineConfig{}});
+    for (int lat : lats) {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        cfg.buildLatency = lat;
+        variants.push_back({"buildlat-" + std::to_string(lat), cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Ablation: build-latency sensitivity (Section 4.2.2 "
                 "claim)\n\n");
     std::printf("%-12s", "bench");
-    for (int lat : {0, 10, 100, 1000, 10000, 100000})
+    for (int lat : lats)
         std::printf(" %8d", lat);
     std::printf("\n");
     bench::hr(66);
 
-    for (const auto &name : names) {
-        auto prog = workloads::makeWorkload(name);
-        sim::MachineConfig base_cfg;
-        sim::Stats base = sim::runProgram(prog, base_cfg);
-        std::printf("%-12s", name.c_str());
-        for (int lat : {0, 10, 100, 1000, 10000, 100000}) {
-            sim::MachineConfig cfg;
-            cfg.mode = sim::Mode::Microthread;
-            cfg.buildLatency = lat;
-            sim::Stats stats = sim::runProgram(prog, cfg);
-            std::printf(" %8.3f", sim::speedup(stats, base));
-            std::fflush(stdout);
-        }
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        std::printf("%-12s", suite[w].name.c_str());
+        for (size_t v = 1; v < variants.size(); v++)
+            std::printf(" %8.3f",
+                        sim::speedup(results[w][v].stats, base));
         std::printf("\n");
     }
     std::printf("\nExpected shape: flat across moderate latencies; "
                 "only extreme values (which\nstarve the MicroRAM of "
                 "routines, especially in our short runs) hurt.\n");
+    suite_run.finish();
     return 0;
 }

@@ -16,39 +16,48 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    std::vector<std::string> names =
-        quick ? std::vector<std::string>{"comp", "go"}
-              : std::vector<std::string>{"comp", "go", "perl",
-                                         "crafty_2k", "twolf_2k",
-                                         "mcf_2k"};
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::suiteFromNames(
+        args.quick ? std::vector<std::string>{"comp", "go"}
+                   : std::vector<std::string>{"comp", "go", "perl",
+                                              "crafty_2k", "twolf_2k",
+                                              "mcf_2k"});
+    bench::SuiteRun suite_run("ablation_contexts", args);
+
+    const uint32_t context_counts[] = {1, 2, 4, 8, 16, 32};
+    std::vector<bench::ConfigVariant> variants;
+    variants.push_back({"baseline", sim::MachineConfig{}});
+    for (uint32_t contexts : context_counts) {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        cfg.numMicrocontexts = contexts;
+        variants.push_back(
+            {"contexts-" + std::to_string(contexts), cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Ablation: microcontext count (n = 10, T = .10, "
                 "no pruning)\n\n");
     std::printf("%-12s", "bench");
-    for (uint32_t contexts : {1u, 2u, 4u, 8u, 16u, 32u})
+    for (uint32_t contexts : context_counts)
         std::printf(" %8u", contexts);
     std::printf("   no-context abort%% @8\n");
     bench::hr(88);
 
-    for (const auto &name : names) {
-        isa::Program prog = workloads::makeWorkload(name);
-        sim::MachineConfig base_cfg;
-        sim::Stats base = sim::runProgram(prog, base_cfg);
-        std::printf("%-12s", name.c_str());
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        std::printf("%-12s", suite[w].name.c_str());
         double no_ctx_at_8 = 0.0;
-        for (uint32_t contexts : {1u, 2u, 4u, 8u, 16u, 32u}) {
-            sim::MachineConfig cfg;
-            cfg.mode = sim::Mode::Microthread;
-            cfg.numMicrocontexts = contexts;
-            sim::Stats stats = sim::runProgram(prog, cfg);
+        for (size_t v = 1; v < variants.size(); v++) {
+            const sim::Stats &stats = results[w][v].stats;
             std::printf(" %8.3f", sim::speedup(stats, base));
-            if (contexts == 8 && stats.spawnAttempts) {
+            if (context_counts[v - 1] == 8 && stats.spawnAttempts) {
                 no_ctx_at_8 =
                     static_cast<double>(stats.spawnNoContext) /
                     static_cast<double>(stats.spawnAttempts);
             }
-            std::fflush(stdout);
         }
         std::printf("   %5.1f%%\n", 100.0 * no_ctx_at_8);
     }
@@ -59,5 +68,6 @@ main(int argc, char **argv)
                 "so spawn demand outstrips the\npaper-era context "
                 "budget; the no-context abort column quantifies "
                 "it.\n");
+    suite_run.finish();
     return 0;
 }

@@ -10,6 +10,7 @@
  * deliver a timely prediction.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -20,12 +21,64 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    std::vector<std::string> names =
-        quick ? std::vector<std::string>{"comp", "go"}
-              : std::vector<std::string>{"comp", "go", "perl",
-                                         "crafty_2k", "parser_2k",
-                                         "twolf_2k", "li"};
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::suiteFromNames(
+        args.quick ? std::vector<std::string>{"comp", "go"}
+                   : std::vector<std::string>{"comp", "go", "perl",
+                                              "crafty_2k",
+                                              "parser_2k", "twolf_2k",
+                                              "li"});
+    bench::SuiteRun suite_run("ablation_hints", args);
+    sim::BatchRunner runner(args.jobs);
+
+    // Phase 1: profile every workload concurrently — the hinted
+    // configs below depend on each workload's own difficult set, so
+    // this cannot be expressed as a shared-variant matrix.
+    std::vector<std::vector<core::PathId>> hints(suite.size());
+    std::vector<double> profile_seconds(suite.size());
+    runner.forEach(suite.size(), [&](size_t w) {
+        auto start = std::chrono::steady_clock::now();
+        sim::PathProfiler profiler({10});
+        profiler.profile(suite[w].make({}), 20'000'000);
+        hints[w] = profiler.difficultPathIds(10, 0.10);
+        profile_seconds[w] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+    });
+    for (size_t w = 0; w < suite.size(); w++)
+        suite_run.json().addTiming(suite[w].name, "profile",
+                                   profile_seconds[w]);
+
+    // Phase 2: four runs per workload (baseline / dynamic / hinted /
+    // hinted+throttle), all cells across the pool.
+    const char *const variant_names[4] = {"baseline", "dynamic",
+                                          "hinted", "hinted+throttle"};
+    std::vector<std::vector<sim::BatchResult>> results(
+        suite.size(), std::vector<sim::BatchResult>(4));
+    runner.forEach(suite.size() * 4, [&](size_t cell) {
+        size_t w = cell / 4;
+        size_t v = cell % 4;
+        sim::MachineConfig cfg;
+        if (v >= 1)
+            cfg.mode = sim::Mode::Microthread;
+        if (v >= 2)
+            cfg.staticDifficultHints = hints[w];
+        if (v == 3)
+            cfg.throttleEnabled = true;
+        auto start = std::chrono::steady_clock::now();
+        results[w][v].stats =
+            sim::runProgram(suite[w].make({}), cfg);
+        results[w][v].hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    });
+    for (size_t w = 0; w < suite.size(); w++)
+        for (size_t v = 0; v < 4; v++)
+            suite_run.json().addRun(suite[w].name, variant_names[v],
+                                    results[w][v].hostSeconds,
+                                    results[w][v].stats);
 
     std::printf("Ablation: dynamic vs profile-hinted promotion, and "
                 "the usefulness throttle\n(n = 10, T = .10)\n\n");
@@ -33,36 +86,24 @@ main(int argc, char **argv)
                 "hinted", "hint+thr", "routines", "routines(h)");
     bench::hr(76);
 
-    for (const auto &name : names) {
-        isa::Program prog = workloads::makeWorkload(name);
-        sim::MachineConfig base_cfg;
-        sim::Stats base = sim::runProgram(prog, base_cfg);
-
-        sim::MachineConfig cfg;
-        cfg.mode = sim::Mode::Microthread;
-        sim::Stats dynamic = sim::runProgram(prog, cfg);
-
-        sim::PathProfiler profiler({10});
-        profiler.profile(prog, 20'000'000);
-        cfg.staticDifficultHints = profiler.difficultPathIds(10, 0.10);
-        sim::Stats hinted = sim::runProgram(prog, cfg);
-
-        cfg.throttleEnabled = true;
-        sim::Stats both = sim::runProgram(prog, cfg);
-
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        const sim::Stats &dynamic = results[w][1].stats;
+        const sim::Stats &hinted = results[w][2].stats;
+        const sim::Stats &both = results[w][3].stats;
         std::printf("%-12s | %8.3f %8.3f %8.3f | %9llu %9llu\n",
-                    name.c_str(), sim::speedup(dynamic, base),
+                    suite[w].name.c_str(), sim::speedup(dynamic, base),
                     sim::speedup(hinted, base),
                     sim::speedup(both, base),
                     static_cast<unsigned long long>(
                         dynamic.promotionsCompleted),
                     static_cast<unsigned long long>(
                         hinted.promotionsCompleted));
-        std::fflush(stdout);
     }
     std::printf("\nExpected shape: hints ramp more routines in short "
                 "runs and usually match or\nbeat dynamic "
                 "identification; the throttle trims spawn traffic "
                 "without giving\nup the delivered predictions.\n");
+    suite_run.finish();
     return 0;
 }

@@ -16,57 +16,70 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
     // A mispredict-heavy subset keeps this ablation affordable.
-    std::vector<std::string> names =
-        quick ? std::vector<std::string>{"comp", "go"}
-              : std::vector<std::string>{"comp", "go", "crafty_2k",
-                                         "parser_2k", "twolf_2k"};
+    auto suite = bench::suiteFromNames(
+        args.quick ? std::vector<std::string>{"comp", "go"}
+                   : std::vector<std::string>{"comp", "go",
+                                              "crafty_2k",
+                                              "parser_2k",
+                                              "twolf_2k"});
+    bench::SuiteRun suite_run("ablation_pathcache", args);
+
+    const uint32_t entry_counts[] = {512, 2048, 8192, 32768};
+    const uint32_t intervals[] = {8, 16, 32, 64, 128};
+
+    // One matrix covers both sweeps: column 0 is the shared baseline,
+    // then the capacity points, then the training-interval points.
+    std::vector<bench::ConfigVariant> variants;
+    variants.push_back({"baseline", sim::MachineConfig{}});
+    for (uint32_t entries : entry_counts) {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        cfg.pathCacheEntries = entries;
+        variants.push_back({"entries-" + std::to_string(entries), cfg});
+    }
+    for (uint32_t interval : intervals) {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        cfg.trainingInterval = interval;
+        variants.push_back(
+            {"interval-" + std::to_string(interval), cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Ablation: microthread-mode speed-up vs Path Cache "
                 "geometry (n = 10, T = .10)\n\n");
 
     std::printf("Path Cache capacity sweep (training interval 32):\n");
     std::printf("%-12s", "bench");
-    for (uint32_t entries : {512u, 2048u, 8192u, 32768u})
+    for (uint32_t entries : entry_counts)
         std::printf(" %8u", entries);
     std::printf("\n");
     bench::hr(50);
-    for (const auto &name : names) {
-        auto prog = workloads::makeWorkload(name);
-        sim::MachineConfig base_cfg;
-        sim::Stats base = sim::runProgram(prog, base_cfg);
-        std::printf("%-12s", name.c_str());
-        for (uint32_t entries : {512u, 2048u, 8192u, 32768u}) {
-            sim::MachineConfig cfg;
-            cfg.mode = sim::Mode::Microthread;
-            cfg.pathCacheEntries = entries;
-            sim::Stats stats = sim::runProgram(prog, cfg);
-            std::printf(" %8.3f", sim::speedup(stats, base));
-            std::fflush(stdout);
-        }
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        std::printf("%-12s", suite[w].name.c_str());
+        for (size_t i = 0; i < 4; i++)
+            std::printf(" %8.3f",
+                        sim::speedup(results[w][1 + i].stats, base));
         std::printf("\n");
     }
 
     std::printf("\nTraining interval sweep (8K entries):\n");
     std::printf("%-12s", "bench");
-    for (uint32_t interval : {8u, 16u, 32u, 64u, 128u})
+    for (uint32_t interval : intervals)
         std::printf(" %8u", interval);
     std::printf("\n");
     bench::hr(58);
-    for (const auto &name : names) {
-        auto prog = workloads::makeWorkload(name);
-        sim::MachineConfig base_cfg;
-        sim::Stats base = sim::runProgram(prog, base_cfg);
-        std::printf("%-12s", name.c_str());
-        for (uint32_t interval : {8u, 16u, 32u, 64u, 128u}) {
-            sim::MachineConfig cfg;
-            cfg.mode = sim::Mode::Microthread;
-            cfg.trainingInterval = interval;
-            sim::Stats stats = sim::runProgram(prog, cfg);
-            std::printf(" %8.3f", sim::speedup(stats, base));
-            std::fflush(stdout);
-        }
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        std::printf("%-12s", suite[w].name.c_str());
+        for (size_t i = 0; i < 5; i++)
+            std::printf(" %8.3f",
+                        sim::speedup(results[w][5 + i].stats, base));
         std::printf("\n");
     }
 
@@ -76,5 +89,6 @@ main(int argc, char **argv)
                 "(slow\nreaction); our short runs amplify the "
                 "long-interval penalty relative to the\npaper's "
                 "billion-instruction runs.\n");
+    suite_run.finish();
     return 0;
 }

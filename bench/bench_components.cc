@@ -8,7 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bpred/frontend_predictor.hh"
+#include "sim/batch_runner.hh"
 #include "bpred/hybrid.hh"
 #include "core/path_cache.hh"
 #include "core/path_tracker.hh"
@@ -195,6 +201,60 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Arg(static_cast<int>(sim::Mode::Microthread))
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_BatchRunnerForEach(benchmark::State &state)
+{
+    // Dispatch overhead of the worker pool: many tiny jobs, so the
+    // ticket claim and thread startup dominate.
+    sim::BatchRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    constexpr size_t kJobs = 1024;
+    for (auto _ : state) {
+        std::atomic<uint64_t> sum{0};
+        runner.forEach(kJobs, [&](size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        benchmark::DoNotOptimize(sum.load());
+    }
+    state.counters["job/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kJobs),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchRunnerForEach)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the bench-smoke harness passes --quick/--jobs to every
+// bench binary, but google-benchmark rejects flags it doesn't know.
+// Strip ours (honouring --quick by capping the measurement time)
+// before handing the rest to benchmark::Initialize.
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 < argc)
+                i++;  // pool size is irrelevant to a microbenchmark
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    static std::string min_time = "--benchmark_min_time=0.01";
+    if (quick)
+        rest.push_back(min_time.data());
+    int rest_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

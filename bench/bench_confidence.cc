@@ -13,6 +13,7 @@
  * (higher is better). Path indexing should dominate.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -99,8 +100,25 @@ measure(const isa::Program &prog, uint64_t max_insts)
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("confidence", args);
+    sim::BatchRunner runner(args.jobs);
+
+    // The measurement loop is bespoke (no Stats), so fan it out with
+    // forEach into per-index slots and record timings only.
+    std::vector<ConfidenceResult> rows(suite.size());
+    std::vector<double> seconds(suite.size());
+    runner.forEach(suite.size(), [&](size_t w) {
+        auto start = std::chrono::steady_clock::now();
+        rows[w] = measure(suite[w].make({}), 20'000'000);
+        seconds[w] = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    });
+    for (size_t w = 0; w < suite.size(); w++)
+        suite_run.json().addTiming(suite[w].name, "jrs-confidence",
+                                   seconds[w]);
 
     std::printf("Confidence substrate ([10], JRS): high-confidence "
                 "coverage and misprediction\nleakage, pc-indexed vs "
@@ -111,11 +129,11 @@ main(int argc, char **argv)
 
     double sums[4] = {};
     int count = 0;
-    for (const auto &info : suite) {
-        ConfidenceResult r = measure(info.make({}), 20'000'000);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const ConfidenceResult &r = rows[w];
         std::printf("%-12s |   %6.1f%%   %6.1f%% |   %6.1f%%   "
                     "%6.1f%%\n",
-                    info.name.c_str(), 100 * r.pc_cover,
+                    suite[w].name.c_str(), 100 * r.pc_cover,
                     100 * r.pc_leak, 100 * r.path_cover,
                     100 * r.path_leak);
         sums[0] += r.pc_cover;
@@ -123,7 +141,6 @@ main(int argc, char **argv)
         sums[2] += r.path_cover;
         sums[3] += r.path_leak;
         count++;
-        std::fflush(stdout);
     }
     bench::hr(60);
     std::printf("%-12s |   %6.1f%%   %6.1f%% |   %6.1f%%   %6.1f%%\n",
@@ -133,5 +150,6 @@ main(int argc, char **argv)
     std::printf("\nClaim to check: path indexing leaks fewer "
                 "mispredictions into the\nhigh-confidence class — "
                 "predictability follows the path.\n");
+    suite_run.finish();
     return 0;
 }

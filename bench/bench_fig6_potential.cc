@@ -17,8 +17,25 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("fig6_potential", args);
+
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        variants.push_back({"baseline", cfg});
+        for (int n : {4, 10, 16}) {
+            sim::MachineConfig oracle_cfg;
+            oracle_cfg.mode = sim::Mode::OracleDifficultPath;
+            oracle_cfg.pathN = n;
+            variants.push_back(
+                {"oracle-paths-n" + std::to_string(n), oracle_cfg});
+        }
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Figure 6: potential speed-up from perfect prediction "
                 "of difficult paths\n(8K-entry Path Cache, training "
@@ -28,25 +45,19 @@ main(int argc, char **argv)
     bench::hr(100);
 
     std::vector<double> speedups[3];
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        sim::Stats base = bench::run(info, cfg);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
         double speedup_n[3];
-        const int ns[3] = {4, 10, 16};
         for (int i = 0; i < 3; i++) {
-            sim::MachineConfig oracle_cfg;
-            oracle_cfg.mode = sim::Mode::OracleDifficultPath;
-            oracle_cfg.pathN = ns[i];
-            sim::Stats oracle = bench::run(info, oracle_cfg);
-            speedup_n[i] = sim::speedup(oracle, base);
+            speedup_n[i] =
+                sim::speedup(results[w][1 + i].stats, base);
             speedups[i].push_back(speedup_n[i]);
         }
         std::printf("%-12s %8.3f | %7.3f %7.3f %7.3f   %s\n",
-                    info.name.c_str(), base.ipc(), speedup_n[0],
+                    suite[w].name.c_str(), base.ipc(), speedup_n[0],
                     speedup_n[1], speedup_n[2],
                     sim::asciiBar(speedup_n[1] - 1.0, 0.05, 30)
                         .c_str());
-        std::fflush(stdout);
     }
     bench::hr(100);
     std::printf("%-12s %8s | %7.3f %7.3f %7.3f   (arithmetic mean)\n",
@@ -60,5 +71,6 @@ main(int argc, char **argv)
                 "prediction because the realistic Path Cache cannot "
                 "track the\nsheer number of difficult paths "
                 "(Section 5.2).\n");
+    suite_run.finish();
     return 0;
 }

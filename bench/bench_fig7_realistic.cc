@@ -18,7 +18,8 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    if (bench::hasFlag(argc, argv, "--print-config")) {
+    auto args = bench::parseArgs(argc, argv, {"--print-config"});
+    if (args.has("--print-config")) {
         sim::MachineConfig cfg;
         cfg.mode = sim::Mode::Microthread;
         std::printf("Table 3 baseline machine model:\n%s\n",
@@ -26,8 +27,24 @@ main(int argc, char **argv)
         return 0;
     }
 
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("fig7_realistic", args);
+
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        variants.push_back({"baseline", cfg});
+        cfg.mode = sim::Mode::Microthread;
+        variants.push_back({"microthread", cfg});
+        cfg.builder.pruningEnabled = true;
+        variants.push_back({"microthread+pruning", cfg});
+        cfg.builder.pruningEnabled = false;
+        cfg.mode = sim::Mode::MicrothreadNoPredictions;
+        variants.push_back({"overhead", cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Figure 7: realistic speed-up (n = 10, T = .10, "
                 "build latency 100)\n\n");
@@ -41,19 +58,11 @@ main(int argc, char **argv)
     double pre_abort_sum = 0, post_abort_sum = 0;
     int abort_count = 0;
 
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        sim::Stats base = bench::run(info, cfg);
-
-        cfg.mode = sim::Mode::Microthread;
-        sim::Stats np = bench::run(info, cfg);
-
-        cfg.builder.pruningEnabled = true;
-        sim::Stats pr = bench::run(info, cfg);
-        cfg.builder.pruningEnabled = false;
-
-        cfg.mode = sim::Mode::MicrothreadNoPredictions;
-        sim::Stats ov = bench::run(info, cfg);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        const sim::Stats &np = results[w][1].stats;
+        const sim::Stats &pr = results[w][2].stats;
+        const sim::Stats &ov = results[w][3].stats;
 
         double s_np = sim::speedup(np, base);
         double s_pr = sim::speedup(pr, base);
@@ -67,10 +76,9 @@ main(int argc, char **argv)
             abort_count++;
         }
         std::printf("%-12s %8.3f %7.4f | %8.3f %8.3f %8.3f   %s\n",
-                    info.name.c_str(), base.ipc(),
+                    suite[w].name.c_str(), base.ipc(),
                     base.hwMispredictRate(), s_np, s_pr, s_ov,
                     sim::asciiBar(s_np - 1.0, 0.02, 30).c_str());
-        std::fflush(stdout);
     }
     bench::hr(100);
     std::printf("%-12s %8s %7s | %8.3f %8.3f %8.3f   (arith mean; "
@@ -91,5 +99,6 @@ main(int argc, char **argv)
                     "%5.1f%%   (paper: 66%%)\n",
                     100.0 * post_abort_sum / abort_count);
     }
+    suite_run.finish();
     return 0;
 }

@@ -14,8 +14,21 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("fig8_routines", args);
+
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        variants.push_back({"microthread", cfg});
+        cfg.builder.pruningEnabled = true;
+        variants.push_back({"microthread+pruning", cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Figure 8: average routine size and longest "
                 "dependency chain, +/- pruning\n\n");
@@ -25,19 +38,16 @@ main(int argc, char **argv)
 
     double size_np = 0, chain_np = 0, size_pr = 0, chain_pr = 0;
     int count = 0;
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        cfg.mode = sim::Mode::Microthread;
-        sim::Stats np = bench::run(info, cfg);
-        cfg.builder.pruningEnabled = true;
-        sim::Stats pr = bench::run(info, cfg);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &np = results[w][0].stats;
+        const sim::Stats &pr = results[w][1].stats;
         if (np.build.built == 0) {
             std::printf("%-12s | %9s (no routines built)\n",
-                        info.name.c_str(), "-");
+                        suite[w].name.c_str(), "-");
             continue;
         }
         std::printf("%-12s | %9.2f %9.2f | %9.2f %9.2f | %8llu\n",
-                    info.name.c_str(), np.build.avgRoutineSize(),
+                    suite[w].name.c_str(), np.build.avgRoutineSize(),
                     np.build.avgLongestChain(),
                     pr.build.avgRoutineSize(),
                     pr.build.avgLongestChain(),
@@ -47,7 +57,6 @@ main(int argc, char **argv)
         size_pr += pr.build.avgRoutineSize();
         chain_pr += pr.build.avgLongestChain();
         count++;
-        std::fflush(stdout);
     }
     bench::hr(78);
     if (count) {
@@ -60,5 +69,6 @@ main(int argc, char **argv)
                 "(e.g. compress) Ap_Inst insertion can\nlengthen the "
                 "routine while still shortening the chain "
                 "(Section 5.4).\n");
+    suite_run.finish();
     return 0;
 }

@@ -38,8 +38,21 @@ splitOf(const sim::Stats &stats)
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("fig9_timeliness", args);
+
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::Microthread;
+        variants.push_back({"microthread", cfg});
+        cfg.builder.pruningEnabled = true;
+        variants.push_back({"microthread+pruning", cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Figure 9: prediction timeliness, left = no pruning, "
                 "right = pruning\n(fractions of early / late / "
@@ -51,26 +64,23 @@ main(int argc, char **argv)
 
     Split sum_np{0, 0, 0}, sum_pr{0, 0, 0};
     int count = 0;
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        cfg.mode = sim::Mode::Microthread;
-        sim::Stats np = bench::run(info, cfg);
-        cfg.builder.pruningEnabled = true;
-        sim::Stats pr = bench::run(info, cfg);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &np = results[w][0].stats;
+        const sim::Stats &pr = results[w][1].stats;
         uint64_t np_total =
             np.predEarly + np.predLate + np.predUseless;
         if (np_total < 10) {
             std::printf("%-12s | (too few predictions)\n",
-                        info.name.c_str());
+                        suite[w].name.c_str());
             continue;
         }
         Split a = splitOf(np);
         Split b = splitOf(pr);
         std::printf("%-12s | %5.1f%% %5.1f%% %5.1f%% | %5.1f%% "
                     "%5.1f%% %5.1f%%\n",
-                    info.name.c_str(), 100 * a.early, 100 * a.late,
-                    100 * a.useless, 100 * b.early, 100 * b.late,
-                    100 * b.useless);
+                    suite[w].name.c_str(), 100 * a.early,
+                    100 * a.late, 100 * a.useless, 100 * b.early,
+                    100 * b.late, 100 * b.useless);
         sum_np.early += a.early;
         sum_np.late += a.late;
         sum_np.useless += a.useless;
@@ -78,7 +88,6 @@ main(int argc, char **argv)
         sum_pr.late += b.late;
         sum_pr.useless += b.useless;
         count++;
-        std::fflush(stdout);
     }
     bench::hr(66);
     if (count) {
@@ -94,5 +103,6 @@ main(int argc, char **argv)
     std::printf("\nPaper shape: pruning increases early and useful "
                 "(early+late) predictions,\nyet the majority still "
                 "arrive after the branch is fetched (Section 5.4).\n");
+    suite_run.finish();
     return 0;
 }

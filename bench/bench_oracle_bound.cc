@@ -19,8 +19,22 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("oracle_bound", args);
+
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        variants.push_back({"baseline", cfg});
+        cfg.mode = sim::Mode::OracleAllBranches;
+        variants.push_back({"oracle-all", cfg});
+        cfg.mode = sim::Mode::OracleDifficultPath;
+        variants.push_back({"oracle-paths", cfg});
+    }
+
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
 
     std::printf("Perfect-prediction bound (paper introduction) vs "
                 "the difficult-path oracle\n\n");
@@ -29,28 +43,23 @@ main(int argc, char **argv)
     bench::hr(72);
 
     std::vector<double> bound, dp;
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        sim::Stats base = bench::run(info, cfg);
-        cfg.mode = sim::Mode::OracleAllBranches;
-        sim::Stats all = bench::run(info, cfg);
-        cfg.mode = sim::Mode::OracleDifficultPath;
-        sim::Stats oracle = bench::run(info, cfg);
-        double s_all = sim::speedup(all, base);
-        double s_dp = sim::speedup(oracle, base);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &base = results[w][0].stats;
+        double s_all = sim::speedup(results[w][1].stats, base);
+        double s_dp = sim::speedup(results[w][2].stats, base);
         bound.push_back(s_all);
         dp.push_back(s_dp);
         double captured =
             s_all > 1.0 ? (s_dp - 1.0) / (s_all - 1.0) : 1.0;
         std::printf("%-12s %8.3f %8.2f | %8.3fx %8.3fx %8.1f%%\n",
-                    info.name.c_str(), base.ipc(),
+                    suite[w].name.c_str(), base.ipc(),
                     100 * (1.0 - base.hwMispredictRate()), s_all,
                     s_dp, 100 * captured);
-        std::fflush(stdout);
     }
     bench::hr(72);
     std::printf("%-12s %8s %8s | %8.3fx %8.3fx   (arith mean; paper "
                 "intro: ~2x bound)\n",
                 "Average", "", "", sim::mean(bound), sim::mean(dp));
+    suite_run.finish();
     return 0;
 }

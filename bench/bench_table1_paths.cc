@@ -9,6 +9,7 @@
  * (the paper reports ~45% for an 8K-entry cache).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
@@ -18,18 +19,58 @@
 
 using namespace ssmt;
 
+namespace
+{
+
+/** One profiled workload's Table 1 numbers, for all three n. */
+struct ProfileRow
+{
+    uint64_t paths[3];
+    double scope[3];
+    uint64_t t05[3], t10[3], t15[3];
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("table1_paths", args);
+    sim::BatchRunner runner(args.jobs);
+    const int ns[3] = {4, 10, 16};
+
+    // Phase 1: profile every workload concurrently; each slot is
+    // written only by its own index.
+    std::vector<ProfileRow> rows(suite.size());
+    std::vector<double> profile_seconds(suite.size());
+    runner.forEach(suite.size(), [&](size_t w) {
+        auto start = std::chrono::steady_clock::now();
+        sim::PathProfiler profiler({4, 10, 16});
+        profiler.profile(suite[w].make({}), 20'000'000);
+        for (int i = 0; i < 3; i++) {
+            rows[w].paths[i] = profiler.uniquePaths(ns[i]);
+            rows[w].scope[i] = profiler.avgScope(ns[i]);
+            rows[w].t05[i] = profiler.difficultPaths(ns[i], 0.05);
+            rows[w].t10[i] = profiler.difficultPaths(ns[i], 0.10);
+            rows[w].t15[i] = profiler.difficultPaths(ns[i], 0.15);
+        }
+        profile_seconds[w] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+    });
+    for (size_t w = 0; w < suite.size(); w++)
+        suite_run.json().addTiming(suite[w].name, "profile",
+                                   profile_seconds[w]);
 
     std::printf("Table 1: unique paths, average scope, and difficult "
                 "paths by n and T\n");
     std::printf("(paper: Chappell et al., ISCA 2002; workloads are "
                 "the SPECint proxies)\n\n");
     std::printf("%-12s", "bench");
-    for (int n : {4, 10, 16}) {
+    for (int n : ns) {
         std::printf(" | n=%-2d %8s %8s %7s %7s %7s", n, "paths",
                     "scope", "T=.05", "T=.10", "T=.15");
     }
@@ -42,31 +83,24 @@ main(int argc, char **argv)
     } sums[3];
     int count = 0;
 
-    for (const auto &info : suite) {
-        sim::PathProfiler profiler({4, 10, 16});
-        profiler.profile(info.make({}), 20'000'000);
-        std::printf("%-12s", info.name.c_str());
-        const int ns[3] = {4, 10, 16};
+    for (size_t w = 0; w < suite.size(); w++) {
+        std::printf("%-12s", suite[w].name.c_str());
         for (int i = 0; i < 3; i++) {
-            int n = ns[i];
-            uint64_t paths = profiler.uniquePaths(n);
-            double scope = profiler.avgScope(n);
-            uint64_t t05 = profiler.difficultPaths(n, 0.05);
-            uint64_t t10 = profiler.difficultPaths(n, 0.10);
-            uint64_t t15 = profiler.difficultPaths(n, 0.15);
             std::printf(" |      %8llu %8.2f %7llu %7llu %7llu",
-                        static_cast<unsigned long long>(paths), scope,
-                        static_cast<unsigned long long>(t05),
-                        static_cast<unsigned long long>(t10),
-                        static_cast<unsigned long long>(t15));
-            sums[i].paths += static_cast<double>(paths);
-            sums[i].scope += scope;
-            sums[i].t05 += static_cast<double>(t05);
-            sums[i].t10 += static_cast<double>(t10);
-            sums[i].t15 += static_cast<double>(t15);
+                        static_cast<unsigned long long>(
+                            rows[w].paths[i]),
+                        rows[w].scope[i],
+                        static_cast<unsigned long long>(rows[w].t05[i]),
+                        static_cast<unsigned long long>(rows[w].t10[i]),
+                        static_cast<unsigned long long>(
+                            rows[w].t15[i]));
+            sums[i].paths += static_cast<double>(rows[w].paths[i]);
+            sums[i].scope += rows[w].scope[i];
+            sums[i].t05 += static_cast<double>(rows[w].t05[i]);
+            sums[i].t10 += static_cast<double>(rows[w].t10[i]);
+            sums[i].t15 += static_cast<double>(rows[w].t15[i]);
         }
         std::printf("\n");
-        std::fflush(stdout);
         count++;
     }
     bench::hr(152);
@@ -81,14 +115,21 @@ main(int argc, char **argv)
 
     // ---- Section 4.1: allocations avoided by mispredict-only
     // allocation on a realistic 8K-entry Path Cache.
+    std::vector<bench::ConfigVariant> variants;
+    {
+        sim::MachineConfig cfg;
+        cfg.mode = sim::Mode::OracleDifficultPath;  // tracks paths
+        variants.push_back({"oracle-paths", cfg});
+    }
+    auto results =
+        bench::runMatrix(suite, variants, args, suite_run.json());
+
     std::printf("Section 4.1: Path Cache allocations skipped by "
                 "mispredict-only allocation (8K entries, n=10)\n");
     double skip_sum = 0;
     int skip_count = 0;
-    for (const auto &info : suite) {
-        sim::MachineConfig cfg;
-        cfg.mode = sim::Mode::OracleDifficultPath;  // tracks paths
-        sim::Stats stats = bench::run(info, cfg);
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::Stats &stats = results[w][0].stats;
         uint64_t total = stats.pathCacheAllocations +
                          stats.pathCacheAllocationsSkipped;
         double frac =
@@ -96,13 +137,13 @@ main(int argc, char **argv)
                         stats.pathCacheAllocationsSkipped) /
                         static_cast<double>(total)
                   : 0.0;
-        std::printf("  %-12s %5.1f%% skipped\n", info.name.c_str(),
-                    100.0 * frac);
+        std::printf("  %-12s %5.1f%% skipped\n",
+                    suite[w].name.c_str(), 100.0 * frac);
         skip_sum += frac;
         skip_count++;
-        std::fflush(stdout);
     }
     std::printf("  %-12s %5.1f%% skipped   (paper: ~45%%)\n",
                 "Average", 100.0 * skip_sum / skip_count);
+    suite_run.finish();
     return 0;
 }

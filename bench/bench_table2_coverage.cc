@@ -9,7 +9,9 @@
  * coverage."
  */
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hh"
 #include "sim/path_profiler.hh"
@@ -19,8 +21,31 @@ using namespace ssmt;
 int
 main(int argc, char **argv)
 {
-    bool quick = bench::quickMode(argc, argv);
-    auto suite = bench::benchSuite(quick);
+    auto args = bench::parseArgs(argc, argv);
+    auto suite = bench::benchSuite(args.quick);
+    bench::SuiteRun suite_run("table2_coverage", args);
+    sim::BatchRunner runner(args.jobs);
+
+    // One profile per workload serves all three thresholds; run them
+    // concurrently, then read the coverages serially below.
+    std::vector<std::unique_ptr<sim::PathProfiler>> profilers(
+        suite.size());
+    std::vector<double> profile_seconds(suite.size());
+    runner.forEach(suite.size(), [&](size_t w) {
+        auto start = std::chrono::steady_clock::now();
+        auto profiler =
+            std::make_unique<sim::PathProfiler>(
+                std::vector<int>{4, 10, 16});
+        profiler->profile(suite[w].make({}), 20'000'000);
+        profilers[w] = std::move(profiler);
+        profile_seconds[w] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+    });
+    for (size_t w = 0; w < suite.size(); w++)
+        suite_run.json().addTiming(suite[w].name, "profile",
+                                   profile_seconds[w]);
 
     std::printf("Table 2: misprediction%% / execution%% coverage of "
                 "difficult branches vs difficult paths\n\n");
@@ -33,9 +58,8 @@ main(int argc, char **argv)
         bench::hr(80);
         double sums[8] = {};
         int count = 0;
-        for (const auto &info : suite) {
-            sim::PathProfiler profiler({4, 10, 16});
-            profiler.profile(info.make({}), 20'000'000);
+        for (size_t w = 0; w < suite.size(); w++) {
+            const sim::PathProfiler &profiler = *profilers[w];
             double row[8] = {
                 profiler.branchMisCoverage(threshold),
                 profiler.branchExeCoverage(threshold),
@@ -48,13 +72,13 @@ main(int argc, char **argv)
             };
             std::printf("%-12s |  %5.1f %6.1f |  %5.1f %6.1f |  %5.1f "
                         "%6.1f |  %5.1f %6.1f\n",
-                        info.name.c_str(), 100 * row[0], 100 * row[1],
-                        100 * row[2], 100 * row[3], 100 * row[4],
-                        100 * row[5], 100 * row[6], 100 * row[7]);
+                        suite[w].name.c_str(), 100 * row[0],
+                        100 * row[1], 100 * row[2], 100 * row[3],
+                        100 * row[4], 100 * row[5], 100 * row[6],
+                        100 * row[7]);
             for (int i = 0; i < 8; i++)
                 sums[i] += row[i];
             count++;
-            std::fflush(stdout);
         }
         bench::hr(80);
         std::printf("%-12s |  %5.1f %6.1f |  %5.1f %6.1f |  %5.1f "
@@ -69,5 +93,6 @@ main(int argc, char **argv)
     std::printf("Paper's claim to check: path misprediction coverage "
                 "rises with n while\nexecution coverage falls "
                 "relative to the difficult-branch columns.\n");
+    suite_run.finish();
     return 0;
 }

@@ -20,21 +20,29 @@ PathCache::PathCache(uint32_t num_entries, uint32_t assoc,
     SSMT_ASSERT(training_interval > 0, "training interval must be > 0");
 }
 
-PathCache::Entry *
-PathCache::find(PathId id)
+template <typename Self>
+auto
+PathCache::findIn(Self &self, PathId id) -> decltype(self.find(id))
 {
-    uint32_t set = static_cast<uint32_t>(id) & (numSets_ - 1);
-    Entry *base = &entries_[static_cast<size_t>(set) * assoc_];
-    for (uint32_t way = 0; way < assoc_; way++)
+    uint32_t set = static_cast<uint32_t>(id) & (self.numSets_ - 1);
+    auto *base = &self.entries_[static_cast<size_t>(set) *
+                                self.assoc_];
+    for (uint32_t way = 0; way < self.assoc_; way++)
         if (base[way].valid && base[way].id == id)
             return &base[way];
     return nullptr;
 }
 
+PathCache::Entry *
+PathCache::find(PathId id)
+{
+    return findIn(*this, id);
+}
+
 const PathCache::Entry *
 PathCache::find(PathId id) const
 {
-    return const_cast<PathCache *>(this)->find(id);
+    return findIn(*this, id);
 }
 
 PathCache::Entry *
@@ -154,6 +162,15 @@ PathCache::takeEvictedPromotions()
     std::vector<PathId> out;
     out.swap(evictedPromotions_);
     return out;
+}
+
+void
+PathCache::drainEvictedPromotions(std::vector<PathId> &out)
+{
+    out.clear();
+    out.insert(out.end(), evictedPromotions_.begin(),
+               evictedPromotions_.end());
+    evictedPromotions_.clear();
 }
 
 void

@@ -90,6 +90,18 @@ class PathCache
      */
     std::vector<PathId> takeEvictedPromotions();
 
+    /** Cheap guard so the owner's retire loop can skip the drain
+     *  entirely in the common no-eviction case. */
+    bool
+    hasEvictedPromotions() const
+    {
+        return !evictedPromotions_.empty();
+    }
+
+    /** Allocation-free variant of takeEvictedPromotions(): moves the
+     *  pending ids into @p out (cleared first), reusing its storage. */
+    void drainEvictedPromotions(std::vector<PathId> &out);
+
     void reset();
 
   private:
@@ -121,6 +133,12 @@ class PathCache
     Entry *find(PathId id);
     const Entry *find(PathId id) const;
     Entry *allocate(PathId id);
+
+    /** Shared lookup body for the const and non-const overloads;
+     *  @p Self is PathCache or const PathCache. */
+    template <typename Self>
+    static auto findIn(Self &self, PathId id)
+        -> decltype(self.find(id));
 };
 
 } // namespace core

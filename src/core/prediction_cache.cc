@@ -7,19 +7,61 @@ namespace ssmt
 namespace core
 {
 
+namespace
+{
+
+/**
+ * Choose the set count for @p num_entries: the largest power of two
+ * that divides the capacity while keeping at least kTargetAssoc ways
+ * per set. Odd capacities degenerate to a single fully-associative
+ * set, which preserves the historical behavior exactly.
+ */
+constexpr uint32_t kTargetAssoc = 4;
+
+uint32_t
+chooseNumSets(uint32_t num_entries)
+{
+    uint32_t sets = 1;
+    while (num_entries % (sets * 2) == 0 &&
+           num_entries / (sets * 2) >= kTargetAssoc) {
+        sets *= 2;
+    }
+    return sets;
+}
+
+} // namespace
+
 PredictionCache::PredictionCache(uint32_t num_entries)
-    : entries_(num_entries)
+    : entries_(num_entries), numSets_(chooseNumSets(num_entries))
 {
     SSMT_ASSERT(num_entries > 0, "prediction cache must have entries");
+    assoc_ = num_entries / numSets_;
+}
+
+PredEntry *
+PredictionCache::setBase(PathId id, uint64_t seq_num)
+{
+    return &entries_[static_cast<size_t>(setIndex(id, seq_num)) *
+                     assoc_];
+}
+
+const PredEntry *
+PredictionCache::setBase(PathId id, uint64_t seq_num) const
+{
+    return &entries_[static_cast<size_t>(setIndex(id, seq_num)) *
+                     assoc_];
 }
 
 PredEntry *
 PredictionCache::findSlot(PathId id, uint64_t seq_num)
 {
-    for (PredEntry &entry : entries_)
+    PredEntry *base = setBase(id, seq_num);
+    for (uint32_t way = 0; way < assoc_; way++) {
+        PredEntry &entry = base[way];
         if (entry.valid && entry.pathId == id &&
             entry.seqNum == seq_num)
             return &entry;
+    }
     return nullptr;
 }
 
@@ -28,25 +70,33 @@ PredictionCache::write(PathId id, uint64_t seq_num, bool taken,
                        uint64_t target, uint64_t cycle)
 {
     writes_++;
-    PredEntry *slot = findSlot(id, seq_num);
+    PredEntry *base = setBase(id, seq_num);
+    PredEntry *slot = nullptr;
+    // Single pass over the set: match, first invalid way, and the
+    // oldest Seq_Num (the most likely to already be stale).
+    PredEntry *invalid = nullptr;
+    PredEntry *oldest = base;
+    for (uint32_t way = 0; way < assoc_; way++) {
+        PredEntry &entry = base[way];
+        if (entry.valid && entry.pathId == id &&
+            entry.seqNum == seq_num) {
+            slot = &entry;
+            break;
+        }
+        if (!entry.valid) {
+            if (!invalid)
+                invalid = &entry;
+        } else if (entry.seqNum < oldest->seqNum || !oldest->valid) {
+            oldest = &entry;
+        }
+    }
     if (slot) {
         overwrites_++;
+    } else if (invalid) {
+        slot = invalid;
     } else {
-        // Prefer an invalid slot; otherwise evict the entry with the
-        // oldest Seq_Num (the most likely to already be stale).
-        PredEntry *oldest = &entries_[0];
-        for (PredEntry &entry : entries_) {
-            if (!entry.valid) {
-                slot = &entry;
-                break;
-            }
-            if (entry.seqNum < oldest->seqNum)
-                oldest = &entry;
-        }
-        if (!slot) {
-            slot = oldest;
-            evictions_++;
-        }
+        slot = oldest;
+        evictions_++;
     }
     slot->valid = true;
     slot->pathId = id;
@@ -61,7 +111,9 @@ const PredEntry *
 PredictionCache::lookup(PathId id, uint64_t seq_num) const
 {
     lookups_++;
-    for (const PredEntry &entry : entries_) {
+    const PredEntry *base = setBase(id, seq_num);
+    for (uint32_t way = 0; way < assoc_; way++) {
+        const PredEntry &entry = base[way];
         if (entry.valid && entry.pathId == id &&
             entry.seqNum == seq_num) {
             lookupHits_++;

@@ -11,6 +11,14 @@
  * non-existent". Stale entries are reclaimed by comparing Seq_Num
  * against the front-end's position, which is what lets the structure
  * stay tiny (128 entries).
+ *
+ * The storage is set-indexed like the Path Cache: the key pair
+ * hashes to a set and only that set's ways are searched, so the
+ * front-end probe on every fetched terminating branch touches a
+ * handful of entries instead of scanning the whole table. Within a
+ * set, replacement prefers an invalid way and otherwise evicts the
+ * entry with the oldest Seq_Num (the most likely to already be
+ * stale), exactly as the fully-associative organization did.
  */
 
 #ifndef SSMT_CORE_PREDICTION_CACHE_HH
@@ -69,6 +77,24 @@ class PredictionCache
     uint64_t reclaimedUnconsumed() const { return reclaimedUnconsumed_; }
     uint64_t evictions() const { return evictions_; }
 
+    // Geometry introspection (tests cross-check replacement against
+    // a reference model that needs the same set mapping).
+    uint32_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return assoc_; }
+
+    /** Set index of a key under this cache's geometry. */
+    uint32_t
+    setIndex(PathId id, uint64_t seq_num) const
+    {
+        // Multiplicative mix of both key halves; the pair must spread
+        // across sets even though Seq_Num advances sequentially.
+        uint64_t h = (id ^ (seq_num * 0x9e3779b97f4a7c15ull));
+        h ^= h >> 32;
+        h *= 0xc2b2ae3d27d4eb4full;
+        h ^= h >> 29;
+        return static_cast<uint32_t>(h) & (numSets_ - 1);
+    }
+
     uint32_t
     occupancy() const
     {
@@ -82,7 +108,9 @@ class PredictionCache
     void clear();
 
   private:
-    std::vector<PredEntry> entries_;
+    std::vector<PredEntry> entries_;    ///< set-major: set * assoc_ + way
+    uint32_t numSets_;
+    uint32_t assoc_;
     mutable uint64_t lookups_ = 0;
     mutable uint64_t lookupHits_ = 0;
     uint64_t writes_ = 0;
@@ -90,6 +118,8 @@ class PredictionCache
     uint64_t reclaimedUnconsumed_ = 0;
     uint64_t evictions_ = 0;
 
+    PredEntry *setBase(PathId id, uint64_t seq_num);
+    const PredEntry *setBase(PathId id, uint64_t seq_num) const;
     PredEntry *findSlot(PathId id, uint64_t seq_num);
 };
 

@@ -45,6 +45,16 @@ SsmtCore::SsmtCore(const isa::Program &prog,
     fetchPc_ = prog_.entry();
     staticHints_.insert(config.staticDifficultHints.begin(),
                         config.staticDifficultHints.end());
+
+    // Pre-size the per-cycle structures so the simulation loop's
+    // steady state never touches the allocator: the in-flight branch
+    // map is bounded by the window, as is the micro-completion heap.
+    inflight_.reserve(static_cast<size_t>(config.windowSize));
+    evictScratch_.reserve(16);
+    std::vector<MicroCompletion> heap_storage;
+    heap_storage.reserve(static_cast<size_t>(config.windowSize));
+    microEvents_ = decltype(microEvents_)(
+        std::greater<MicroCompletion>{}, std::move(heap_storage));
 }
 
 bool
@@ -374,9 +384,10 @@ SsmtCore::retire()
                 } else if (event == core::PathEvent::Demote) {
                     demote(br.pathId);
                 }
-                for (core::PathId evicted :
-                     pathCache_.takeEvictedPromotions()) {
-                    demote(evicted);
+                if (pathCache_.hasEvictedPromotions()) {
+                    pathCache_.drainEvictedPromotions(evictScratch_);
+                    for (core::PathId evicted : evictScratch_)
+                        demote(evicted);
                 }
                 if (cfg_.rebuildOnViolation &&
                     predictionsUsable() && br.microPredWrongConsumed) {
@@ -467,12 +478,14 @@ SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
     if (ids.empty())
         return;
     for (core::PathId id : ids) {
-        std::shared_ptr<const core::MicroThread> thread =
-            microRam_.findShared(id);
-        if (!thread)
+        // Raw lookup first: most attempts abort before allocation
+        // (the paper's 67%), so the shared handle's refcount traffic
+        // is deferred to the successful-spawn path.
+        const core::MicroThread *probe = microRam_.find(id);
+        if (!probe)
             continue;
         stats_.spawnAttempts++;
-        if (!core::prefixMatches(*thread, tracker_)) {
+        if (!core::prefixMatches(*probe, tracker_)) {
             stats_.spawnAbortPrefix++;
             trace_.record(cycle_, TraceEvent::SpawnAbortPrefix, pc,
                           seq, id);
@@ -489,6 +502,10 @@ SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
             stats_.spawnNoContext++;
             continue;
         }
+        std::shared_ptr<const core::MicroThread> thread =
+            microRam_.findShared(id);
+        if (!thread)
+            continue;
         free_ctx->active = true;
         free_ctx->thread = thread;
         free_ctx->matcher = core::PathMatcher(thread.get());

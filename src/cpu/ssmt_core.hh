@@ -162,6 +162,9 @@ class SsmtCore
     std::array<uint64_t, isa::kNumRegs> lastWriterSeq_ = {};
     std::deque<RobEntry> rob_;
     std::unordered_map<uint64_t, InFlightBranch> inflight_;
+    /** Reusable drain buffer for Path Cache evicted promotions, so
+     *  the retire loop never allocates in the common case. */
+    std::vector<core::PathId> evictScratch_;
 
     // ---- Microthread state ----
     std::vector<Microcontext> contexts_;

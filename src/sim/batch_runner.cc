@@ -1,0 +1,107 @@
+#include "sim/batch_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "sim/sim_runner.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
+{
+}
+
+unsigned
+BatchRunner::resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("SSMT_JOBS")) {
+        long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+BatchRunner::forEach(size_t n, const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(jobs_, n));
+    if (workers <= 1) {
+        // Serial degenerate case: same thread, same order, and
+        // exceptions propagate naturally.
+        for (size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    // Work-stealing by atomic ticket: claim order is nondeterministic
+    // but each index owns its own result slot, so outcomes are not.
+    std::atomic<size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; w++)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    for (size_t i = 0; i < n; i++)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+std::vector<BatchResult>
+BatchRunner::run(const std::vector<BatchJob> &batch) const
+{
+    std::vector<BatchResult> results(batch.size());
+    forEach(batch.size(), [&](size_t i) {
+        auto start = std::chrono::steady_clock::now();
+        results[i].stats = runProgram(batch[i].program,
+                                      batch[i].config);
+        results[i].hostSeconds = secondsSince(start);
+    });
+    return results;
+}
+
+} // namespace sim
+} // namespace ssmt

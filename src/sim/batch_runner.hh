@@ -1,0 +1,86 @@
+/**
+ * @file
+ * BatchRunner: a fixed-size worker-thread pool that fans independent
+ * (Program, MachineConfig) simulation jobs out across host cores.
+ *
+ * Every experiment cell in the paper-reproduction suite — a workload
+ * under a machine configuration — is an isolated SsmtCore, so cells
+ * can run concurrently with *bit-identical* results: each job writes
+ * only its own result slot, and the output order is the submission
+ * order regardless of which worker finished first. `--jobs 1`
+ * degenerates to a plain serial loop on the calling thread.
+ *
+ * Worker count resolution (highest priority first):
+ *   1. an explicit non-zero request (e.g. a `--jobs N` flag),
+ *   2. the SSMT_JOBS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ */
+
+#ifndef SSMT_SIM_BATCH_RUNNER_HH
+#define SSMT_SIM_BATCH_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/machine_config.hh"
+#include "sim/stats.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+/** One independent simulation cell. */
+struct BatchJob
+{
+    std::string name;       ///< label carried through to reports
+    isa::Program program;
+    MachineConfig config;
+};
+
+/** The outcome of one BatchJob, in submission order. */
+struct BatchResult
+{
+    Stats stats;
+    double hostSeconds = 0.0;   ///< host wall-clock spent on this job
+};
+
+class BatchRunner
+{
+  public:
+    /** @param jobs worker count; 0 = resolve via SSMT_JOBS / cores. */
+    explicit BatchRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Resolve a requested worker count per the header rules. */
+    static unsigned resolveJobs(unsigned requested);
+
+    /**
+     * Deterministic parallel-for: invoke @p fn(i) for every
+     * i in [0, n), spread across the pool. @p fn must confine its
+     * writes to per-index state. If any invocation throws, the
+     * exception of the lowest-indexed failing job is rethrown on the
+     * calling thread after all workers have drained (no deadlock, no
+     * detached threads); jobs not yet claimed at that point still run.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Run a batch of simulation jobs; result i corresponds to
+     * jobs[i]. Simulated Stats are byte-identical to running the
+     * same jobs serially in order; only hostSeconds varies between
+     * runs.
+     */
+    std::vector<BatchResult> run(const std::vector<BatchJob> &batch) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_BATCH_RUNNER_HH

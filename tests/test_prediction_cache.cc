@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "core/prediction_cache.hh"
 
 namespace
@@ -95,6 +101,228 @@ TEST(PredictionCacheTest, ClearResetsEntries)
     pc.clear();
     EXPECT_EQ(pc.occupancy(), 0u);
     EXPECT_EQ(pc.lookup(1, 10), nullptr);
+}
+
+TEST(PredictionCacheTest, SetGeometryCoversCapacity)
+{
+    // Sets * ways must equal the capacity; odd capacities degenerate
+    // to one fully-associative set (the historical organization).
+    for (uint32_t capacity : {1u, 2u, 5u, 8u, 16u, 24u, 128u, 256u}) {
+        PredictionCache pc(capacity);
+        EXPECT_EQ(pc.numSets() * pc.assoc(), capacity) << capacity;
+        EXPECT_EQ(pc.numSets() & (pc.numSets() - 1), 0u)
+            << "set count must be a power of two";
+        if (capacity >= 8) {
+            EXPECT_GE(pc.assoc(), 4u) << capacity;
+        }
+    }
+    EXPECT_EQ(PredictionCache(5).numSets(), 1u);
+    EXPECT_EQ(PredictionCache(128).numSets(), 32u);
+}
+
+/**
+ * Brute-force reference model of the set-indexed organization: each
+ * set is a plain array of ways; a write picks (in order) the key
+ * match, the first invalid way, or the lowest-indexed way with the
+ * oldest Seq_Num.
+ */
+class ReferenceModel
+{
+  public:
+    struct Way
+    {
+        bool valid = false;
+        PathId pathId = 0;
+        uint64_t seqNum = 0;
+        bool taken = false;
+        uint64_t target = 0;
+        bool consumed = false;
+    };
+
+    ReferenceModel(uint32_t num_sets, uint32_t assoc)
+        : sets_(num_sets, std::vector<Way>(assoc))
+    {
+    }
+
+    /** @return true if the write evicted a valid entry. */
+    bool
+    write(uint32_t set, PathId id, uint64_t seq, bool taken,
+          uint64_t target)
+    {
+        auto &ways = sets_[set];
+        Way *slot = nullptr;
+        for (Way &way : ways) {
+            if (way.valid && way.pathId == id && way.seqNum == seq) {
+                slot = &way;
+                break;
+            }
+        }
+        bool evicted = false;
+        if (!slot) {
+            for (Way &way : ways) {
+                if (!way.valid) {
+                    slot = &way;
+                    break;
+                }
+            }
+        }
+        if (!slot) {
+            slot = &ways[0];
+            for (Way &way : ways)
+                if (way.seqNum < slot->seqNum)
+                    slot = &way;
+            evicted = true;
+        }
+        *slot = Way{true, id, seq, taken, target, false};
+        return evicted;
+    }
+
+    const Way *
+    lookup(uint32_t set, PathId id, uint64_t seq) const
+    {
+        for (const Way &way : sets_[set])
+            if (way.valid && way.pathId == id && way.seqNum == seq)
+                return &way;
+        return nullptr;
+    }
+
+    void
+    markConsumed(uint32_t set, PathId id, uint64_t seq)
+    {
+        for (Way &way : sets_[set])
+            if (way.valid && way.pathId == id && way.seqNum == seq)
+                way.consumed = true;
+    }
+
+    /** @return number of unconsumed entries reclaimed. */
+    uint64_t
+    reclaimOlderThan(uint64_t seq)
+    {
+        uint64_t unconsumed = 0;
+        for (auto &ways : sets_) {
+            for (Way &way : ways) {
+                if (way.valid && way.seqNum < seq) {
+                    if (!way.consumed)
+                        unconsumed++;
+                    way.valid = false;
+                }
+            }
+        }
+        return unconsumed;
+    }
+
+    uint32_t
+    occupancy() const
+    {
+        uint32_t n = 0;
+        for (const auto &ways : sets_)
+            for (const Way &way : ways)
+                if (way.valid)
+                    n++;
+        return n;
+    }
+
+  private:
+    std::vector<std::vector<Way>> sets_;
+};
+
+TEST(PredictionCacheTest, RandomSweepMatchesReferenceModel)
+{
+    // Capacity/eviction sweep: across geometries from a 2-entry
+    // degenerate cache to the paper's 128-entry point, a randomized
+    // write/lookup/consume/reclaim stream must agree with the
+    // brute-force model on every lookup outcome, every replacement
+    // victim (checked by full-content comparison), and every counter.
+    for (uint32_t capacity : {2u, 5u, 8u, 16u, 24u, 128u}) {
+        SCOPED_TRACE("capacity " + std::to_string(capacity));
+        PredictionCache pc(capacity);
+        ReferenceModel model(pc.numSets(), pc.assoc());
+        std::mt19937_64 rng(0xC0FFEE + capacity);
+
+        uint64_t front = 0;                     // front-end position
+        uint64_t evictions = 0, overwrites = 0, unconsumed = 0;
+        std::vector<std::pair<PathId, uint64_t>> live;
+
+        for (int op = 0; op < 4000; op++) {
+            PathId id = 1 + rng() % 6;
+            uint64_t seq = front + rng() % (2 * capacity + 8);
+            uint32_t set = pc.setIndex(id, seq);
+            switch (rng() % 8) {
+            case 0:
+            case 1:
+            case 2: {                           // write
+                bool taken = rng() & 1;
+                uint64_t target = rng() % 1024;
+                bool existed = model.lookup(set, id, seq) != nullptr;
+                bool evicted =
+                    model.write(set, id, seq, taken, target);
+                if (existed)
+                    overwrites++;
+                else if (evicted)
+                    evictions++;
+                pc.write(id, seq, taken, target, op);
+                live.push_back({id, seq});
+                break;
+            }
+            case 3:
+            case 4:
+            case 5: {                           // lookup a seen key
+                if (live.empty())
+                    break;
+                auto key = live[rng() % live.size()];
+                uint32_t kset = pc.setIndex(key.first, key.second);
+                const PredEntry *got =
+                    pc.lookup(key.first, key.second);
+                const ReferenceModel::Way *want =
+                    model.lookup(kset, key.first, key.second);
+                ASSERT_EQ(got != nullptr, want != nullptr)
+                    << "hit/miss diverges at op " << op;
+                if (got) {
+                    EXPECT_EQ(got->taken, want->taken);
+                    EXPECT_EQ(got->target, want->target);
+                }
+                break;
+            }
+            case 6: {                           // consume a seen key
+                if (live.empty())
+                    break;
+                auto key = live[rng() % live.size()];
+                uint32_t kset = pc.setIndex(key.first, key.second);
+                pc.markConsumed(key.first, key.second);
+                model.markConsumed(kset, key.first, key.second);
+                break;
+            }
+            case 7: {                           // advance + reclaim
+                front += 1 + rng() % capacity;
+                unconsumed += model.reclaimOlderThan(front);
+                pc.reclaimOlderThan(front);
+                break;
+            }
+            }
+            ASSERT_EQ(pc.occupancy(), model.occupancy())
+                << "occupancy diverges at op " << op;
+        }
+
+        // Counter parity: identical victims imply identical totals.
+        EXPECT_EQ(pc.evictions(), evictions);
+        EXPECT_EQ(pc.overwrites(), overwrites);
+        EXPECT_EQ(pc.reclaimedUnconsumed(), unconsumed);
+
+        // Final content parity for every key ever written.
+        std::sort(live.begin(), live.end());
+        live.erase(std::unique(live.begin(), live.end()), live.end());
+        for (const auto &key : live) {
+            uint32_t kset = pc.setIndex(key.first, key.second);
+            const PredEntry *got = pc.lookup(key.first, key.second);
+            const ReferenceModel::Way *want =
+                model.lookup(kset, key.first, key.second);
+            ASSERT_EQ(got != nullptr, want != nullptr);
+            if (got) {
+                EXPECT_EQ(got->taken, want->taken);
+                EXPECT_EQ(got->target, want->target);
+            }
+        }
+    }
 }
 
 TEST(PredictionCacheTest, SmallCacheSustainsStream)
