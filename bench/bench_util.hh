@@ -20,6 +20,7 @@
 
 #include "sim/batch_runner.hh"
 #include "sim/bench_json.hh"
+#include "sim/invariants.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_runner.hh"
 #include "workloads/workloads.hh"
@@ -195,6 +196,11 @@ runMatrix(const std::vector<workloads::WorkloadInfo> &suite,
         auto start = std::chrono::steady_clock::now();
         results[w][v].stats =
             sim::runProgram(suite[w].make({}), variants[v].cfg);
+        // Name the cell in the invariant diagnostic; runProgram's own
+        // check only knows the mode.
+        sim::StatsChecker::enforce(results[w][v].stats,
+                                   suite[w].name + "/" +
+                                       variants[v].name);
         results[w][v].hostSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)

@@ -156,6 +156,16 @@ PathCache::difficultCount() const
     return count;
 }
 
+uint32_t
+PathCache::occupancy() const
+{
+    uint32_t count = 0;
+    for (const Entry &entry : entries_)
+        if (entry.valid)
+            count++;
+    return count;
+}
+
 std::vector<PathId>
 PathCache::takeEvictedPromotions()
 {

@@ -71,6 +71,9 @@ class PathCache
     /** Number of currently difficult entries (for diagnostics). */
     uint32_t difficultCount() const;
 
+    /** Number of valid entries (for occupancy-bound checks). */
+    uint32_t occupancy() const;
+
     // Statistics for the paper's Section 4.1 claims.
     uint64_t updates() const { return updates_; }
     uint64_t allocations() const { return allocations_; }

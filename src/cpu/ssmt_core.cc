@@ -797,6 +797,7 @@ SsmtCore::finalizeStats()
     finalized_ = true;
     pcache_.reclaimOlderThan(~0ull);
     stats_.predNeverReached += pcache_.reclaimedUnconsumed();
+    stats_.pathCacheUpdates = pathCache_.updates();
     stats_.pathCacheAllocations = pathCache_.allocations();
     stats_.pathCacheAllocationsSkipped =
         pathCache_.allocationsSkipped();
@@ -808,6 +809,51 @@ SsmtCore::finalizeStats()
     stats_.l2Accesses = hier_.l2().accesses();
     stats_.build = builder_.stats();
     stats_.cycles = cycle_;
+}
+
+// ---------------------------------------------------------------------
+// Structural self-check
+// ---------------------------------------------------------------------
+
+std::vector<sim::InvariantViolation>
+SsmtCore::checkStructuralInvariants() const
+{
+    std::vector<sim::InvariantViolation> out;
+    auto bound = [&](const char *relation, const char *expr,
+                     uint64_t value, uint64_t limit) {
+        if (value > limit) {
+            out.push_back({relation,
+                           std::string(expr) + " violated (" +
+                               std::to_string(value) + " > " +
+                               std::to_string(limit) + ")"});
+        }
+    };
+
+    bound("prb-occupancy", "prb.size <= prb.capacity", prb_.size(),
+          prb_.capacity());
+    bound("pcache-occupancy",
+          "predictionCache.occupancy <= numSets * assoc",
+          pcache_.occupancy(),
+          static_cast<uint64_t>(pcache_.numSets()) * pcache_.assoc());
+    bound("microram-occupancy", "microRam.size <= microRam.capacity",
+          microRam_.size(), microRam_.capacity());
+    bound("pathcache-occupancy",
+          "pathCache.occupancy <= pathCache.numEntries",
+          pathCache_.occupancy(), pathCache_.numEntries());
+    bound("pathcache-difficult-le-occupancy",
+          "pathCache.difficultCount <= pathCache.occupancy",
+          pathCache_.difficultCount(), pathCache_.occupancy());
+    bound("window-occupancy", "rob + microOpsInWindow <= windowSize",
+          windowOccupancy(),
+          static_cast<uint64_t>(cfg_.windowSize));
+    uint64_t active = 0;
+    for (const Microcontext &ctx : contexts_)
+        if (ctx.active)
+            active++;
+    bound("microcontext-occupancy",
+          "active contexts <= numMicrocontexts", active,
+          contexts_.size());
+    return out;
 }
 
 } // namespace cpu

@@ -39,6 +39,7 @@
 #include "isa/executor.hh"
 #include "isa/program.hh"
 #include "memory/hierarchy.hh"
+#include "sim/invariants.hh"
 #include "sim/machine_config.hh"
 #include "sim/stats.hh"
 #include "vpred/value_predictor.hh"
@@ -80,6 +81,15 @@ class SsmtCore
     const memory::Hierarchy &hierarchy() const { return hier_; }
     const bpred::FrontEndPredictor &frontend() const { return fep_; }
     const PipelineTrace &trace() const { return trace_; }
+
+    /**
+     * Occupancy-bound self-check over the core's structures (PRB,
+     * Prediction Cache, MicroRAM, Path Cache, window,
+     * microcontexts). Valid at any cycle; sim::runProgram invokes it
+     * at end-of-run alongside StatsChecker.
+     */
+    std::vector<sim::InvariantViolation>
+    checkStructuralInvariants() const;
 
   private:
     /** One in-flight primary-thread instruction. */

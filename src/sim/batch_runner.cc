@@ -7,6 +7,7 @@
 #include <exception>
 #include <thread>
 
+#include "sim/invariants.hh"
 #include "sim/sim_runner.hh"
 
 namespace ssmt
@@ -98,6 +99,10 @@ BatchRunner::run(const std::vector<BatchJob> &batch) const
         auto start = std::chrono::steady_clock::now();
         results[i].stats = runProgram(batch[i].program,
                                       batch[i].config);
+        // Per-job invariant check with the job's name in the
+        // diagnostic (runProgram checks too, but can only name the
+        // mode).
+        StatsChecker::enforce(results[i].stats, batch[i].name);
         results[i].hostSeconds = secondsSince(start);
     });
     return results;

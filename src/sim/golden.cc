@@ -1,0 +1,301 @@
+#include "sim/golden.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/bench_json.hh"
+#include "sim/json_text.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+const char kGoldenSchema[] = "ssmt-golden-v1";
+const char kGoldenConfigName[] = "microthread-default";
+
+MachineConfig
+goldenMachineConfig()
+{
+    MachineConfig cfg;
+    cfg.mode = Mode::Microthread;
+    return cfg;
+}
+
+namespace
+{
+
+struct StatsField
+{
+    const char *name;
+    uint64_t Stats::*member;
+};
+
+struct BuildField
+{
+    const char *name;
+    uint64_t core::BuildStats::*member;
+};
+
+// Canonical field order: matches the declaration order in stats.hh.
+const StatsField kStatsFields[] = {
+    {"cycles", &Stats::cycles},
+    {"retiredInsts", &Stats::retiredInsts},
+    {"fetchBubbleCycles", &Stats::fetchBubbleCycles},
+    {"condBranches", &Stats::condBranches},
+    {"condHwMispredicts", &Stats::condHwMispredicts},
+    {"indirectBranches", &Stats::indirectBranches},
+    {"indirectHwMispredicts", &Stats::indirectHwMispredicts},
+    {"usedMispredicts", &Stats::usedMispredicts},
+    {"promotionsRequested", &Stats::promotionsRequested},
+    {"promotionsCompleted", &Stats::promotionsCompleted},
+    {"demotions", &Stats::demotions},
+    {"buildsFailed", &Stats::buildsFailed},
+    {"rebuildRequests", &Stats::rebuildRequests},
+    {"oracleOverrides", &Stats::oracleOverrides},
+    {"throttleDemotions", &Stats::throttleDemotions},
+    {"hintPromotions", &Stats::hintPromotions},
+    {"spawnAttempts", &Stats::spawnAttempts},
+    {"spawnAbortPrefix", &Stats::spawnAbortPrefix},
+    {"spawnNoContext", &Stats::spawnNoContext},
+    {"spawns", &Stats::spawns},
+    {"abortsPostSpawn", &Stats::abortsPostSpawn},
+    {"microthreadsCompleted", &Stats::microthreadsCompleted},
+    {"microOpsExecuted", &Stats::microOpsExecuted},
+    {"predEarly", &Stats::predEarly},
+    {"predLate", &Stats::predLate},
+    {"predUseless", &Stats::predUseless},
+    {"predNeverReached", &Stats::predNeverReached},
+    {"microPredCorrect", &Stats::microPredCorrect},
+    {"microPredWrong", &Stats::microPredWrong},
+    {"earlyRecoveries", &Stats::earlyRecoveries},
+    {"bogusRecoveries", &Stats::bogusRecoveries},
+    {"pathCacheUpdates", &Stats::pathCacheUpdates},
+    {"pathCacheAllocations", &Stats::pathCacheAllocations},
+    {"pathCacheAllocationsSkipped",
+     &Stats::pathCacheAllocationsSkipped},
+    {"pcacheWrites", &Stats::pcacheWrites},
+    {"pcacheLookupHits", &Stats::pcacheLookupHits},
+    {"l1dMisses", &Stats::l1dMisses},
+    {"l1dAccesses", &Stats::l1dAccesses},
+    {"l2Misses", &Stats::l2Misses},
+    {"l2Accesses", &Stats::l2Accesses},
+};
+
+const BuildField kBuildFields[] = {
+    {"build.requests", &core::BuildStats::requests},
+    {"build.built", &core::BuildStats::built},
+    {"build.failScopeNotInPrb", &core::BuildStats::failScopeNotInPrb},
+    {"build.failPathMismatch", &core::BuildStats::failPathMismatch},
+    {"build.stopsMemDep", &core::BuildStats::stopsMemDep},
+    {"build.stopsMcbFull", &core::BuildStats::stopsMcbFull},
+    {"build.totalOps", &core::BuildStats::totalOps},
+    {"build.totalChain", &core::BuildStats::totalChain},
+    {"build.totalLiveIns", &core::BuildStats::totalLiveIns},
+    {"build.prunedRoutines", &core::BuildStats::prunedRoutines},
+    {"build.prunedSubtrees", &core::BuildStats::prunedSubtrees},
+};
+
+constexpr size_t kNumStatsFields =
+    sizeof(kStatsFields) / sizeof(kStatsFields[0]);
+constexpr size_t kNumBuildFields =
+    sizeof(kBuildFields) / sizeof(kBuildFields[0]);
+
+// Stats is uint64_t counters all the way down, so its size pins the
+// field count on every platform. Adding a counter to Stats (or
+// BuildStats) fires this assert until the tables above — and with
+// them golden serialization and the diff tool — learn the new field.
+static_assert(sizeof(Stats) ==
+                  (kNumStatsFields + kNumBuildFields) *
+                      sizeof(uint64_t),
+              "Stats gained or lost a counter: update kStatsFields / "
+              "kBuildFields (and regenerate golden snapshots)");
+
+bool
+assignCounter(Stats &stats, const std::string &name, uint64_t value)
+{
+    for (const StatsField &f : kStatsFields) {
+        if (name == f.name) {
+            stats.*(f.member) = value;
+            return true;
+        }
+    }
+    for (const BuildField &f : kBuildFields) {
+        if (name == f.name) {
+            stats.build.*(f.member) = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, uint64_t>>
+flattenStats(const Stats &stats)
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(kNumStatsFields + kNumBuildFields);
+    for (const StatsField &f : kStatsFields)
+        out.emplace_back(f.name, stats.*(f.member));
+    for (const BuildField &f : kBuildFields)
+        out.emplace_back(f.name, stats.build.*(f.member));
+    return out;
+}
+
+std::string
+goldenJson(const GoldenRun &run)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"" << kGoldenSchema << "\",\n";
+    out << "  \"workload\": \"" << BenchJson::escape(run.workload)
+        << "\",\n";
+    out << "  \"config\": \"" << BenchJson::escape(run.config)
+        << "\",\n";
+    out << "  \"counters\": {\n";
+    auto counters = flattenStats(run.stats);
+    for (size_t i = 0; i < counters.size(); i++) {
+        out << "    \"" << counters[i].first
+            << "\": " << counters[i].second
+            << (i + 1 < counters.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    return out.str();
+}
+
+bool
+parseGolden(const std::string &text, GoldenRun &out, std::string *err)
+{
+    JsonValue doc;
+    if (!parseJson(text, doc, err))
+        return false;
+    if (doc.kind != JsonValue::Kind::Object) {
+        if (err)
+            *err = "golden document is not an object";
+        return false;
+    }
+    if (doc.str("schema") != kGoldenSchema) {
+        if (err)
+            *err = "unexpected schema '" + doc.str("schema") +
+                   "' (want " + kGoldenSchema + ")";
+        return false;
+    }
+    out.workload = doc.str("workload");
+    out.config = doc.str("config");
+    out.stats = Stats{};
+    const JsonValue *counters = doc.find("counters");
+    if (!counters || counters->kind != JsonValue::Kind::Object) {
+        if (err)
+            *err = "missing counters object";
+        return false;
+    }
+    for (const auto &member : counters->members) {
+        if (member.second.kind != JsonValue::Kind::Number ||
+            !member.second.isInteger) {
+            if (err)
+                *err = "counter '" + member.first +
+                       "' is not an integer";
+            return false;
+        }
+        if (!assignCounter(out.stats, member.first,
+                           member.second.integer)) {
+            if (err)
+                *err = "unknown counter '" + member.first +
+                       "' (stale snapshot? regenerate with "
+                       "ssmt_verify_golden --update)";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+goldenFileName(const std::string &workload)
+{
+    return workload + ".json";
+}
+
+std::vector<CounterDrift>
+diffStats(const Stats &golden, const Stats &candidate)
+{
+    std::vector<CounterDrift> out;
+    auto a = flattenStats(golden);
+    auto b = flattenStats(candidate);
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].second != b[i].second)
+            out.push_back({a[i].first, a[i].second, b[i].second});
+    }
+    return out;
+}
+
+bool
+DriftAllowlist::allows(const std::string &workload,
+                       const std::string &counter) const
+{
+    for (const std::string &entry : entries) {
+        if (entry == counter)
+            return true;
+        if (entry == workload + ":" + counter)
+            return true;
+    }
+    return false;
+}
+
+DriftAllowlist
+DriftAllowlist::parse(const std::string &text)
+{
+    DriftAllowlist list;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t eol = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, eol == std::string::npos ? std::string::npos
+                                          : eol - pos);
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        size_t begin = line.find_first_not_of(" \t\r");
+        size_t end = line.find_last_not_of(" \t\r");
+        if (begin != std::string::npos)
+            list.entries.push_back(
+                line.substr(begin, end - begin + 1));
+        if (eol == std::string::npos)
+            break;
+        pos = eol + 1;
+    }
+    return list;
+}
+
+DriftAllowlist
+DriftAllowlist::load(const std::string &path, bool *existed)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (existed)
+        *existed = file != nullptr;
+    if (!file)
+        return {};
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    std::fclose(file);
+    return parse(text);
+}
+
+std::string
+writeGoldenFile(const std::string &dir, const GoldenRun &run)
+{
+    std::string path = dir + "/" + goldenFileName(run.workload);
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return "";
+    std::string body = goldenJson(run);
+    size_t written = std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    return written == body.size() ? path : "";
+}
+
+} // namespace sim
+} // namespace ssmt

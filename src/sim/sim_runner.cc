@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cpu/ssmt_core.hh"
+#include "sim/invariants.hh"
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -14,7 +15,18 @@ Stats
 runProgram(const isa::Program &prog, const MachineConfig &config)
 {
     cpu::SsmtCore core(prog, config);
-    return core.run();
+    Stats stats = core.run();
+    // End-of-run self-check: a violated counter relation or occupancy
+    // bound is a simulator bug and must never flow into a results
+    // table (or a golden snapshot).
+    std::vector<InvariantViolation> violations =
+        core.checkStructuralInvariants();
+    if (!violations.empty()) {
+        SSMT_PANIC("structural invariant violation at end of run:\n" +
+                   StatsChecker::describe(violations));
+    }
+    StatsChecker::enforce(stats, modeName(config.mode));
+    return stats;
 }
 
 double

@@ -63,6 +63,7 @@ struct Stats
     uint64_t bogusRecoveries = 0;       ///< late pred broke a correct one
 
     // ---- Substrate snapshots (filled at run end) ----
+    uint64_t pathCacheUpdates = 0;      ///< retired term branches seen
     uint64_t pathCacheAllocations = 0;
     uint64_t pathCacheAllocationsSkipped = 0;
     uint64_t pcacheWrites = 0;

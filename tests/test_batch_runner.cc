@@ -61,6 +61,7 @@ expectStatsEqual(const sim::Stats &a, const sim::Stats &b,
     SSMT_EQ_FIELD(microPredWrong);
     SSMT_EQ_FIELD(earlyRecoveries);
     SSMT_EQ_FIELD(bogusRecoveries);
+    SSMT_EQ_FIELD(pathCacheUpdates);
     SSMT_EQ_FIELD(pathCacheAllocations);
     SSMT_EQ_FIELD(pathCacheAllocationsSkipped);
     SSMT_EQ_FIELD(pcacheWrites);

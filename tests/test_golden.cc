@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the golden-stats subsystem: canonical serialization must
+ * round-trip, be byte-identical regardless of BatchRunner
+ * parallelism, and the drift allowlist must follow its grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.hh"
+#include "sim/golden.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+TEST(GoldenTest, FlattenCoversEveryCounterExactlyOnce)
+{
+    sim::Stats s;
+    auto flat = sim::flattenStats(s);
+    // The static_assert in golden.cc pins the table size to
+    // sizeof(Stats); this spells the same fact out at runtime.
+    EXPECT_EQ(flat.size() * sizeof(uint64_t), sizeof(sim::Stats));
+    for (size_t i = 0; i < flat.size(); i++)
+        for (size_t j = i + 1; j < flat.size(); j++)
+            EXPECT_NE(flat[i].first, flat[j].first);
+}
+
+TEST(GoldenTest, SerializeParseRoundTrip)
+{
+    sim::Stats s;
+    // Give every counter a distinct value so a swapped or dropped
+    // field cannot cancel out.
+    auto flat = sim::flattenStats(s);
+    sim::GoldenRun in{"roundtrip", sim::kGoldenConfigName, s};
+    {
+        // Rebuild the stats through the parser after setting each
+        // counter via its serialized name.
+        std::string doc = "{\n  \"schema\": \"";
+        doc += sim::kGoldenSchema;
+        doc += "\",\n  \"workload\": \"roundtrip\",\n"
+               "  \"config\": \"microthread-default\",\n"
+               "  \"counters\": {\n";
+        for (size_t i = 0; i < flat.size(); i++) {
+            doc += "    \"" + flat[i].first +
+                   "\": " + std::to_string(1000 + 7 * i) +
+                   (i + 1 < flat.size() ? ",\n" : "\n");
+        }
+        doc += "  }\n}\n";
+        std::string err;
+        ASSERT_TRUE(sim::parseGolden(doc, in, &err)) << err;
+    }
+    auto populated = sim::flattenStats(in.stats);
+    for (size_t i = 0; i < populated.size(); i++)
+        EXPECT_EQ(populated[i].second, 1000 + 7 * i)
+            << populated[i].first;
+
+    // Emit and parse back: every counter survives.
+    sim::GoldenRun out;
+    std::string err;
+    ASSERT_TRUE(sim::parseGolden(sim::goldenJson(in), out, &err))
+        << err;
+    EXPECT_EQ(out.workload, in.workload);
+    EXPECT_EQ(out.config, in.config);
+    EXPECT_TRUE(sim::diffStats(in.stats, out.stats).empty());
+}
+
+TEST(GoldenTest, ParseRejectsBadDocuments)
+{
+    sim::GoldenRun run;
+    std::string err;
+    EXPECT_FALSE(sim::parseGolden("", run, &err));
+    EXPECT_FALSE(sim::parseGolden("[]", run, &err));
+    EXPECT_FALSE(sim::parseGolden(
+        "{\"schema\": \"other-v1\", \"counters\": {}}", run, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+    // Unknown counters are an error, not a silent skip.
+    std::string unknown = "{\"schema\": \"";
+    unknown += sim::kGoldenSchema;
+    unknown += "\", \"workload\": \"w\", \"config\": \"c\","
+               " \"counters\": {\"noSuchCounter\": 1}}";
+    EXPECT_FALSE(sim::parseGolden(unknown, run, &err));
+    EXPECT_NE(err.find("noSuchCounter"), std::string::npos);
+    // Non-integer counter values are an error.
+    std::string fractional = "{\"schema\": \"";
+    fractional += sim::kGoldenSchema;
+    fractional += "\", \"workload\": \"w\", \"config\": \"c\","
+                  " \"counters\": {\"cycles\": 1.5}}";
+    EXPECT_FALSE(sim::parseGolden(fractional, run, &err));
+}
+
+TEST(GoldenTest, SnapshotsAreJobCountInvariant)
+{
+    // The determinism claim verify-golden rests on: running the same
+    // jobs with 1 worker and with 8 produces byte-identical golden
+    // documents. Three workloads with different character.
+    const std::vector<std::string> names = {"mcf_2k", "li", "go"};
+    std::vector<sim::BatchJob> batch;
+    for (const std::string &name : names)
+        batch.push_back({name, workloads::makeWorkload(name),
+                         sim::goldenMachineConfig()});
+
+    std::vector<sim::BatchResult> serial =
+        sim::BatchRunner(1).run(batch);
+    std::vector<sim::BatchResult> parallel =
+        sim::BatchRunner(8).run(batch);
+    for (size_t i = 0; i < names.size(); i++) {
+        sim::GoldenRun a{names[i], sim::kGoldenConfigName,
+                         serial[i].stats};
+        sim::GoldenRun b{names[i], sim::kGoldenConfigName,
+                         parallel[i].stats};
+        EXPECT_EQ(sim::goldenJson(a), sim::goldenJson(b)) << names[i];
+    }
+}
+
+TEST(GoldenTest, DiffStatsReportsExactlyTheChangedCounters)
+{
+    sim::Stats a;
+    a.cycles = 100;
+    a.retiredInsts = 50;
+    sim::Stats b = a;
+    EXPECT_TRUE(sim::diffStats(a, b).empty());
+
+    b.cycles = 120;
+    b.build.built = 3;
+    auto drifts = sim::diffStats(a, b);
+    ASSERT_EQ(drifts.size(), 2u);
+    EXPECT_EQ(drifts[0].counter, "cycles");
+    EXPECT_EQ(drifts[0].golden, 100u);
+    EXPECT_EQ(drifts[0].candidate, 120u);
+    EXPECT_NEAR(drifts[0].relative(), 0.2, 1e-9);
+    EXPECT_EQ(drifts[1].counter, "build.built");
+    EXPECT_EQ(drifts[1].golden, 0u);
+    EXPECT_NEAR(drifts[1].relative(), 1.0, 1e-9);
+}
+
+TEST(GoldenTest, AllowlistGrammar)
+{
+    sim::DriftAllowlist list = sim::DriftAllowlist::parse(
+        "# comment line\n"
+        "cycles\n"
+        "  mcf_2k:usedMispredicts  # trailing comment\n"
+        "\n"
+        "build.totalOps");
+    ASSERT_EQ(list.entries.size(), 3u);
+    // Bare counter: every workload.
+    EXPECT_TRUE(list.allows("go", "cycles"));
+    EXPECT_TRUE(list.allows("mcf_2k", "cycles"));
+    // Scoped entry: that workload only.
+    EXPECT_TRUE(list.allows("mcf_2k", "usedMispredicts"));
+    EXPECT_FALSE(list.allows("go", "usedMispredicts"));
+    // Dotted build counters work like any other name.
+    EXPECT_TRUE(list.allows("li", "build.totalOps"));
+    EXPECT_FALSE(list.allows("li", "build.built"));
+}
+
+TEST(GoldenTest, GoldenConfigIsTheFullMechanism)
+{
+    sim::MachineConfig cfg = sim::goldenMachineConfig();
+    EXPECT_EQ(cfg.mode, sim::Mode::Microthread);
+    EXPECT_EQ(sim::goldenFileName("mcf_2k"), "mcf_2k.json");
+}
+
+} // namespace

@@ -325,6 +325,162 @@ TEST(PredictionCacheTest, RandomSweepMatchesReferenceModel)
     }
 }
 
+/**
+ * Collect @p count distinct (PathId, SeqNum) keys that all hash into
+ * @p set of @p pc. At most one key per SeqNum, scanning SeqNums
+ * upward from @p min_seq, so the returned keys have strictly
+ * increasing SeqNums — the within-set "oldest" is always unambiguous.
+ */
+std::vector<std::pair<PathId, uint64_t>>
+aliasingKeys(const PredictionCache &pc, uint32_t set, size_t count,
+             uint64_t min_seq)
+{
+    std::vector<std::pair<PathId, uint64_t>> keys;
+    for (uint64_t seq = min_seq; keys.size() < count; seq++) {
+        for (PathId id = 1; id <= 256; id++) {
+            if (pc.setIndex(id, seq) == set) {
+                keys.push_back({id, seq});
+                break;
+            }
+        }
+    }
+    return keys;
+}
+
+TEST(PredictionCacheTest, AliasingKeysReplaceOldestSeqWithinSet)
+{
+    // The paper's 128-entry point: 32 sets x 4 ways. Keys that alias
+    // into one set must contend only with each other, and the victim
+    // of a full-set write must be the way holding the oldest SeqNum.
+    PredictionCache pc(128);
+    ASSERT_GE(pc.numSets(), 2u);
+    const uint32_t set = pc.setIndex(1, 0);
+    auto keys = aliasingKeys(pc, set, pc.assoc() + 2, 0);
+    for (const auto &key : keys)
+        ASSERT_EQ(pc.setIndex(key.first, key.second), set);
+
+    // A control key in some other set must survive the contention.
+    std::pair<PathId, uint64_t> control{0, 0};
+    for (uint64_t seq = 0; control.first == 0; seq++) {
+        for (PathId id = 1; id <= 256; id++) {
+            if (pc.setIndex(id, seq) != set) {
+                control = {id, seq};
+                break;
+            }
+        }
+    }
+    pc.write(control.first, control.second, true, 777, 0);
+
+    // Fill the set: no evictions yet, every aliasing key resident.
+    for (uint32_t i = 0; i < pc.assoc(); i++)
+        pc.write(keys[i].first, keys[i].second, true, i, i);
+    EXPECT_EQ(pc.evictions(), 0u);
+    EXPECT_EQ(pc.occupancy(), pc.assoc() + 1);
+    for (uint32_t i = 0; i < pc.assoc(); i++)
+        EXPECT_NE(pc.lookup(keys[i].first, keys[i].second), nullptr);
+
+    // Each overflow write must victimize the oldest SeqNum in the
+    // set — keys[] is seq-sorted, so eviction proceeds in order.
+    for (size_t extra = pc.assoc(); extra < keys.size(); extra++) {
+        pc.write(keys[extra].first, keys[extra].second, false, extra,
+                 extra);
+        EXPECT_EQ(pc.evictions(), extra - pc.assoc() + 1);
+        size_t oldest_evicted = extra - pc.assoc();
+        for (size_t i = 0; i <= oldest_evicted; i++) {
+            EXPECT_EQ(pc.lookup(keys[i].first, keys[i].second),
+                      nullptr)
+                << "key " << i << " should have been evicted";
+        }
+        for (size_t i = oldest_evicted + 1; i <= extra; i++) {
+            EXPECT_NE(pc.lookup(keys[i].first, keys[i].second),
+                      nullptr)
+                << "key " << i << " should be resident";
+        }
+    }
+
+    // Aliasing pressure never touches the other sets.
+    const PredEntry *kept = pc.lookup(control.first, control.second);
+    ASSERT_NE(kept, nullptr);
+    EXPECT_EQ(kept->target, 777u);
+}
+
+TEST(PredictionCacheTest, AliasingSweepMatchesReferenceModel)
+{
+    // Same reference-model protocol as the random sweep above, but
+    // every key is drawn from a precomputed pool that aliases into a
+    // single set: maximal replacement contention, zero help from the
+    // other sets. Run on two geometries that actually have multiple
+    // sets.
+    for (uint32_t capacity : {16u, 128u}) {
+        SCOPED_TRACE("capacity " + std::to_string(capacity));
+        PredictionCache pc(capacity);
+        ASSERT_GE(pc.numSets(), 2u);
+        const uint32_t set = pc.setIndex(3, 1);
+        auto pool = aliasingKeys(pc, set, 200, 0);
+        ReferenceModel model(pc.numSets(), pc.assoc());
+        std::mt19937_64 rng(0xA11A5 + capacity);
+
+        size_t cursor = 0;                  // moving key-pool window
+        uint64_t evictions = 0, overwrites = 0, unconsumed = 0;
+        for (int op = 0; op < 3000; op++) {
+            size_t lo = cursor > 12 ? cursor - 12 : 0;
+            auto key = pool[lo + rng() % (cursor - lo + 1)];
+            switch (rng() % 8) {
+            case 0:
+            case 1:
+            case 2: {                       // write
+                bool taken = rng() & 1;
+                uint64_t target = rng() % 1024;
+                bool existed =
+                    model.lookup(set, key.first, key.second) !=
+                    nullptr;
+                bool evicted = model.write(set, key.first,
+                                           key.second, taken, target);
+                if (existed)
+                    overwrites++;
+                else if (evicted)
+                    evictions++;
+                pc.write(key.first, key.second, taken, target, op);
+                break;
+            }
+            case 3:
+            case 4:
+            case 5: {                       // lookup
+                const PredEntry *got =
+                    pc.lookup(key.first, key.second);
+                const ReferenceModel::Way *want =
+                    model.lookup(set, key.first, key.second);
+                ASSERT_EQ(got != nullptr, want != nullptr)
+                    << "hit/miss diverges at op " << op;
+                if (got) {
+                    EXPECT_EQ(got->taken, want->taken);
+                    EXPECT_EQ(got->target, want->target);
+                }
+                break;
+            }
+            case 6: {                       // consume
+                pc.markConsumed(key.first, key.second);
+                model.markConsumed(set, key.first, key.second);
+                break;
+            }
+            case 7: {                       // advance + reclaim
+                if (cursor + 4 < pool.size())
+                    cursor += 1 + rng() % 3;
+                uint64_t front = pool[lo].second;
+                unconsumed += model.reclaimOlderThan(front);
+                pc.reclaimOlderThan(front);
+                break;
+            }
+            }
+            ASSERT_EQ(pc.occupancy(), model.occupancy())
+                << "occupancy diverges at op " << op;
+        }
+        EXPECT_EQ(pc.evictions(), evictions);
+        EXPECT_EQ(pc.overwrites(), overwrites);
+        EXPECT_EQ(pc.reclaimedUnconsumed(), unconsumed);
+    }
+}
+
 TEST(PredictionCacheTest, SmallCacheSustainsStream)
 {
     // The paper's point: 128 entries suffice because stale entries

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ssmt_statsdiff: compare two golden-stats snapshots counter by
+ * counter and report absolute and relative drift.
+ *
+ * Usage:
+ *   ssmt_statsdiff [--allow c1,c2,...] [--allow-file F]
+ *                  [--rel-tol R] golden.json candidate.json
+ *
+ * A counter is reported when its values differ; it fails the diff
+ * unless it is allowlisted (via --allow / --allow-file, same syntax
+ * as golden/ALLOWLIST) or its relative drift is within --rel-tol
+ * (default 0: exact match required, the right default for a
+ * deterministic simulator).
+ *
+ * Exit status: 0 identical-or-allowed, 1 non-allowlisted drift,
+ * 2 bad usage or unreadable input.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/golden.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (!file)
+        return "";
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    std::fclose(file);
+    return text;
+}
+
+[[noreturn]] void
+usage(const char *argv0, int status)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--allow c1,c2,...] [--allow-file F]"
+                 " [--rel-tol R] golden.json candidate.json\n",
+                 argv0);
+    std::exit(status);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::DriftAllowlist allowlist;
+    double rel_tol = 0.0;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--allow") {
+            std::string list = value();
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos)
+                    allowlist.entries.push_back(
+                        list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else if (arg == "--allow-file") {
+            std::string path = value();
+            bool existed = false;
+            sim::DriftAllowlist extra =
+                sim::DriftAllowlist::load(path, &existed);
+            if (!existed) {
+                std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                             path.c_str());
+                return 2;
+            }
+            allowlist.entries.insert(allowlist.entries.end(),
+                                     extra.entries.begin(),
+                                     extra.entries.end());
+        } else if (arg == "--rel-tol") {
+            rel_tol = std::strtod(value().c_str(), nullptr);
+            if (rel_tol < 0.0)
+                usage(argv[0], 2);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        usage(argv[0], 2);
+
+    sim::GoldenRun golden, candidate;
+    for (int side = 0; side < 2; side++) {
+        std::string text = readFile(files[side]);
+        if (text.empty()) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         files[side].c_str());
+            return 2;
+        }
+        std::string err;
+        sim::GoldenRun &run = side == 0 ? golden : candidate;
+        if (!sim::parseGolden(text, run, &err)) {
+            std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                         files[side].c_str(), err.c_str());
+            return 2;
+        }
+    }
+
+    if (golden.workload != candidate.workload) {
+        std::fprintf(stderr,
+                     "note: comparing different workloads"
+                     " ('%s' vs '%s')\n",
+                     golden.workload.c_str(),
+                     candidate.workload.c_str());
+    }
+
+    std::vector<sim::CounterDrift> drifts =
+        sim::diffStats(golden.stats, candidate.stats);
+    int failures = 0;
+    for (const sim::CounterDrift &d : drifts) {
+        bool allowed = allowlist.allows(golden.workload, d.counter) ||
+                       std::fabs(d.relative()) <= rel_tol;
+        long long delta =
+            static_cast<long long>(d.candidate) -
+            static_cast<long long>(d.golden);
+        std::printf("%-9s %-28s %12llu -> %12llu  %+lld (%+.3f%%)\n",
+                    allowed ? "allowed" : "DRIFT", d.counter.c_str(),
+                    static_cast<unsigned long long>(d.golden),
+                    static_cast<unsigned long long>(d.candidate),
+                    delta, 100.0 * d.relative());
+        if (!allowed)
+            failures++;
+    }
+    if (drifts.empty()) {
+        std::printf("identical: every counter matches (%s)\n",
+                    golden.workload.c_str());
+    } else {
+        std::printf("%zu counter%s drifted, %d not allowlisted\n",
+                    drifts.size(), drifts.size() == 1 ? "" : "s",
+                    failures);
+    }
+    return failures ? 1 : 0;
+}
