@@ -183,6 +183,49 @@ PathCache::drainEvictedPromotions(std::vector<PathId> &out)
     evictedPromotions_.clear();
 }
 
+bool
+PathCache::injectCorrupt(uint64_t rnd)
+{
+    uint32_t live = occupancy();
+    if (live == 0)
+        return false;
+    uint32_t victim = static_cast<uint32_t>(rnd % live);
+    for (Entry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        if (victim-- == 0) {
+            entry.difficult = !entry.difficult;
+            entry.mispredicts = static_cast<uint32_t>(
+                (rnd >> 32) % (entry.occurrences + 1));
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PathCache::injectEvict(uint64_t rnd)
+{
+    uint32_t live = occupancy();
+    if (live == 0)
+        return false;
+    uint32_t victim = static_cast<uint32_t>(rnd % live);
+    for (Entry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        if (victim-- == 0) {
+            evictions_++;
+            if (entry.difficult)
+                difficultEvictions_++;
+            if (entry.promoted)
+                evictedPromotions_.push_back(entry.id);
+            entry = Entry{};
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 PathCache::reset()
 {

@@ -107,6 +107,21 @@ class PathCache
 
     void reset();
 
+    // ---- Fault injection (sim/faultinject.hh) ----
+
+    /** Scramble the training state of the rnd-th valid entry: the
+     *  Difficult bit flips and the misprediction counter is
+     *  re-rolled. Promotion/demotion still flows through update(), so
+     *  the owner's promotion bookkeeping stays conserved. @return
+     *  false if the cache is empty. */
+    bool injectCorrupt(uint64_t rnd);
+
+    /** Force-evict the rnd-th valid entry with the same bookkeeping
+     *  as a replacement eviction (promoted victims land in the
+     *  evicted-promotions drain, which the owner must demote).
+     *  @return false if the cache is empty. */
+    bool injectEvict(uint64_t rnd);
+
   private:
     struct Entry
     {

@@ -143,6 +143,43 @@ PredictionCache::reclaimOlderThan(uint64_t seq_num)
     }
 }
 
+bool
+PredictionCache::injectFlip(uint64_t rnd)
+{
+    uint32_t live = occupancy();
+    if (live == 0)
+        return false;
+    uint32_t victim = static_cast<uint32_t>(rnd % live);
+    for (PredEntry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        if (victim-- == 0) {
+            entry.taken = !entry.taken;
+            entry.target ^= (rnd >> 8) | 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PredictionCache::injectDrop(uint64_t rnd)
+{
+    uint32_t live = occupancy();
+    if (live == 0)
+        return false;
+    uint32_t victim = static_cast<uint32_t>(rnd % live);
+    for (PredEntry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        if (victim-- == 0) {
+            entry.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 PredictionCache::clear()
 {

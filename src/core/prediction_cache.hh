@@ -107,6 +107,20 @@ class PredictionCache
 
     void clear();
 
+    // ---- Fault injection (sim/faultinject.hh) ----
+    // Both hooks bypass lookup()/write() deliberately: injected
+    // corruption must not perturb the lookup/write counters the
+    // invariant checker ties to front-end behavior.
+
+    /** Invert the outcome of the rnd-th valid entry (taken bit
+     *  flipped, target garbled). @return false if the cache is empty. */
+    bool injectFlip(uint64_t rnd);
+
+    /** Invalidate the rnd-th valid entry without the reclaim
+     *  bookkeeping (models a dropped deposit). @return false if the
+     *  cache is empty. */
+    bool injectDrop(uint64_t rnd);
+
   private:
     std::vector<PredEntry> entries_;    ///< set-major: set * assoc_ + way
     uint32_t numSets_;

@@ -50,6 +50,9 @@ struct Microcontext
     uint64_t spawnSeq = 0;      ///< Seq_Num of the spawn instance
     uint64_t targetSeq = 0;     ///< spawnSeq + routine seqDelta
     uint64_t spawnCycle = 0;
+    /** Dispatch holds off until this cycle (fault injection's
+     *  spawn-delay site; 0 = immediately eligible). */
+    uint64_t dispatchEligibleCycle = 0;
 
     /** All ops dispatched (or the thread aborted) and none pending:
      *  the microcontext can be reclaimed. */
@@ -68,6 +71,7 @@ struct Microcontext
         nextOp = 0;
         opsInFlight = 0;
         aborted = false;
+        dispatchEligibleCycle = 0;
     }
 };
 

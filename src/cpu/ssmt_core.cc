@@ -36,7 +36,7 @@ SsmtCore::SsmtCore(const isa::Program &prog,
       microRam_(config.microRamEntries),
       pcache_(config.predictionCacheEntries), fu_(config.numFUs),
       l1dPorts_(config.l1dReadPorts), trace_(config.traceCapacity),
-      contexts_(config.numMicrocontexts)
+      contexts_(config.numMicrocontexts), faults_(config.faults)
 {
     SSMT_ASSERT(prog.size() > 0, "cannot simulate an empty program");
     SSMT_ASSERT(config.pathN >= 1 && config.pathN <= 16,
@@ -90,6 +90,8 @@ SsmtCore::tick()
     processMicroEvents();
     maybeFinishBuild();
     retire();
+    if (faults_.enabled())
+        injectFaults();
     int fetched = fetch();
     if (microthreadsActive())
         dispatchMicrothreads(cfg_.fetchWidth - fetched);
@@ -468,12 +470,119 @@ SsmtCore::demote(core::PathId id)
 }
 
 // ---------------------------------------------------------------------
+// Fault injection (sim/faultinject.hh)
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::injectFaults()
+{
+    if (!faults_.shouldFire(cycle_))
+        return;
+
+    // Every mutation below touches *speculative* helper state only;
+    // the fetch loop always follows the functionally-executed
+    // next pc, so a corrupted prediction can cost bubbles but never
+    // steer the committed stream (the property the campaigns assert).
+    bool hit = false;
+    switch (faults_.site()) {
+      case sim::FaultSite::PredCacheFlip:
+        hit = pcache_.injectFlip(faults_.roll());
+        break;
+      case sim::FaultSite::PredCacheDrop:
+        hit = pcache_.injectDrop(faults_.roll());
+        break;
+      case sim::FaultSite::PathCacheCorrupt:
+        hit = pathCache_.injectCorrupt(faults_.roll());
+        break;
+      case sim::FaultSite::PathCacheEvict:
+        hit = pathCache_.injectEvict(faults_.roll());
+        if (hit && pathCache_.hasEvictedPromotions()) {
+            // Retire only drains this on a terminating-branch
+            // retire; an injected eviction must demote immediately
+            // or the routine would leak until the next one.
+            pathCache_.drainEvictedPromotions(evictScratch_);
+            for (core::PathId evicted : evictScratch_)
+                demote(evicted);
+        }
+        break;
+      case sim::FaultSite::MicroRamTruncate:
+      case sim::FaultSite::MicroRamGarble: {
+        std::vector<core::PathId> ids = microRam_.ids();
+        if (ids.empty())
+            break;
+        // The MicroRAM map is unordered; sort so victim selection is
+        // a pure function of the plan's RNG stream.
+        std::sort(ids.begin(), ids.end());
+        core::PathId id = ids[faults_.roll() % ids.size()];
+        const core::MicroThread *routine = microRam_.find(id);
+        if (!routine)
+            break;
+        core::MicroThread mutated = *routine;
+        uint64_t rnd = faults_.roll();
+        if (faults_.site() == sim::FaultSite::MicroRamTruncate &&
+            mutated.ops.size() >= 2) {
+            // Chop the tail (always losing the trailing StPCache):
+            // the slice still executes but never deposits.
+            mutated.ops.resize(1 + rnd % (mutated.ops.size() - 1));
+        } else {
+            switch (rnd % 3) {
+              case 0:
+                // Wrong target Seq_Num: deposits miss their branch.
+                mutated.seqDelta += 1 + (rnd >> 8) % 8;
+                break;
+              case 1:
+                if (!mutated.expected.empty()) {
+                    mutated.expected[(rnd >> 8) %
+                                     mutated.expected.size()]
+                        .target ^= (rnd >> 16) | 1;
+                    break;
+                }
+                [[fallthrough]];
+              case 2:
+                if (!mutated.prefix.empty()) {
+                    mutated.prefix[(rnd >> 8) % mutated.prefix.size()]
+                        .pc ^= (rnd >> 16) | 1;
+                } else {
+                    mutated.seqDelta += 1 + (rnd >> 8) % 8;
+                }
+                break;
+            }
+        }
+        // Replace in place; in-flight instances keep their shared
+        // handle to the old routine until they drain.
+        hit = microRam_.insert(std::move(mutated));
+        break;
+      }
+      case sim::FaultSite::SpawnDrop:
+        if (microRam_.size() > 0) {
+            spawnSuppressUntil_ = cycle_ + 1 + faults_.roll() % 32;
+            hit = true;
+        }
+        break;
+      case sim::FaultSite::SpawnDelay:
+        if (microRam_.size() > 0) {
+            pendingSpawnDelay_ = 1 + faults_.roll() % 64;
+            hit = true;
+        }
+        break;
+      case sim::FaultSite::None:
+        break;
+    }
+
+    hit ? faults_.noteInjected() : faults_.noteNoTarget();
+}
+
+// ---------------------------------------------------------------------
 // Spawning and the abort mechanism
 // ---------------------------------------------------------------------
 
 void
 SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
 {
+    // Spawn-drop fault window: the attempt never reaches the spawn
+    // unit, so none of the spawn-conservation counters move.
+    if (cycle_ < spawnSuppressUntil_)
+        return;
     const std::vector<core::PathId> &ids = microRam_.routinesAt(pc);
     if (ids.empty())
         return;
@@ -529,6 +638,14 @@ SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
         free_ctx->spawnSeq = seq;
         free_ctx->targetSeq = seq + thread->seqDelta;
         free_ctx->spawnCycle = cycle_;
+        free_ctx->dispatchEligibleCycle = 0;
+        if (pendingSpawnDelay_ > 0) {
+            // Spawn-delay fault: this spawn exists but cannot
+            // dispatch until the delay elapses.
+            free_ctx->dispatchEligibleCycle =
+                cycle_ + pendingSpawnDelay_;
+            pendingSpawnDelay_ = 0;
+        }
         stats_.spawns++;
         trace_.record(cycle_, TraceEvent::Spawn, pc, seq, id);
         noteSpawn(id);
@@ -606,6 +723,8 @@ SsmtCore::dispatchMicrothreads(int slots)
     rrStart_ = (rrStart_ + 1) % n;
     for (uint32_t i = 0; i < n && slots > 0; i++) {
         Microcontext &ctx = contexts_[(rrStart_ + i) % n];
+        if (cycle_ < ctx.dispatchEligibleCycle)
+            continue;
         while (slots > 0 && ctx.active && !ctx.aborted &&
                ctx.thread && ctx.nextOp < ctx.thread->ops.size()) {
             if (windowOccupancy() >=

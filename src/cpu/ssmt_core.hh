@@ -39,6 +39,7 @@
 #include "isa/executor.hh"
 #include "isa/program.hh"
 #include "memory/hierarchy.hh"
+#include "sim/faultinject.hh"
 #include "sim/invariants.hh"
 #include "sim/machine_config.hh"
 #include "sim/stats.hh"
@@ -81,6 +82,13 @@ class SsmtCore
     const memory::Hierarchy &hierarchy() const { return hier_; }
     const bpred::FrontEndPredictor &frontend() const { return fep_; }
     const PipelineTrace &trace() const { return trace_; }
+
+    /** What the configured fault plan actually did (see
+     *  sim/faultinject.hh; all zeros when injection is disabled). */
+    const sim::FaultStats &faultStats() const
+    {
+        return faults_.stats();
+    }
 
     /**
      * Occupancy-bound self-check over the core's structures (PRB,
@@ -203,12 +211,22 @@ class SsmtCore
     // ---- Compiler hints (compile-time variant) ----
     std::unordered_set<core::PathId> staticHints_;
 
+    // ---- Fault injection (sim/faultinject.hh) ----
+    sim::FaultInjector faults_;
+    /** attemptSpawns() returns immediately while cycle_ < this
+     *  (spawn-drop fault site). */
+    uint64_t spawnSuppressUntil_ = 0;
+    /** The next successful spawn gets this dispatch-eligibility
+     *  delay, then the flag clears (spawn-delay fault site). */
+    uint64_t pendingSpawnDelay_ = 0;
+
     // ---- Phases of tick() ----
     void processMicroEvents();
     void maybeFinishBuild();
     void retire();
     int fetch();
     void dispatchMicrothreads(int slots);
+    void injectFaults();
 
     // ---- Helpers ----
     bool mechanismActive() const

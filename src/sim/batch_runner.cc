@@ -7,7 +7,7 @@
 #include <exception>
 #include <thread>
 
-#include "sim/invariants.hh"
+#include "sim/logging.hh"
 #include "sim/sim_runner.hh"
 
 namespace ssmt
@@ -91,19 +91,86 @@ BatchRunner::forEach(size_t n, const std::function<void(size_t)> &fn) const
             std::rethrow_exception(errors[i]);
 }
 
+uint64_t
+BatchRunner::retrySeed(uint64_t seed, unsigned attempt)
+{
+    if (attempt == 0)
+        return seed;
+    // splitmix64-style mix of (seed, attempt): deterministic,
+    // attempt-distinct, and never 0 (FaultPlan seeds must be
+    // non-zero).
+    uint64_t x = seed + attempt * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x ? x : 1;
+}
+
+std::string
+BatchRunner::failureSummary(const std::vector<BatchJob> &batch,
+                            const std::vector<BatchResult> &results)
+{
+    std::string out;
+    for (size_t i = 0; i < results.size(); i++) {
+        const BatchResult &result = results[i];
+        if (result.ok())
+            continue;
+        std::string name =
+            i < batch.size() ? batch[i].name : std::to_string(i);
+        out += name + ": [" + errorCodeName(result.errorCode) +
+               "] after " + std::to_string(result.attempts) +
+               " attempt" + (result.attempts == 1 ? "" : "s") + ": " +
+               result.error + "\n";
+    }
+    return out;
+}
+
 std::vector<BatchResult>
-BatchRunner::run(const std::vector<BatchJob> &batch) const
+BatchRunner::run(const std::vector<BatchJob> &batch,
+                 const BatchPolicy &policy) const
 {
     std::vector<BatchResult> results(batch.size());
     forEach(batch.size(), [&](size_t i) {
+        BatchResult &result = results[i];
         auto start = std::chrono::steady_clock::now();
-        results[i].stats = runProgram(batch[i].program,
-                                      batch[i].config);
-        // Per-job invariant check with the job's name in the
-        // diagnostic (runProgram checks too, but can only name the
-        // mode).
-        StatsChecker::enforce(results[i].stats, batch[i].name);
-        results[i].hostSeconds = secondsSince(start);
+        for (unsigned attempt = 0; attempt <= policy.maxRetries;
+             attempt++) {
+            MachineConfig config = batch[i].config;
+            if (policy.reseedFaultsOnRetry &&
+                config.faults.enabled()) {
+                config.faults.seed =
+                    retrySeed(batch[i].config.faults.seed, attempt);
+            }
+            result.attempts = attempt + 1;
+            try {
+                result.stats = runProgramChecked(
+                    batch[i].program, config, batch[i].name,
+                    policy.cycleBudget, &result.faults);
+                result.error.clear();
+                result.errorCode = ErrorCode::None;
+                break;
+            } catch (const SimError &err) {
+                result.error = err.what();
+                result.errorCode = err.code();
+                if (!err.recoverable())
+                    break;
+            } catch (const std::exception &err) {
+                result.error = err.what();
+                result.errorCode = ErrorCode::Internal;
+                break;
+            } catch (...) {
+                result.error = "unknown exception";
+                result.errorCode = ErrorCode::Internal;
+                break;
+            }
+        }
+        result.hostSeconds = secondsSince(start);
+        if (!result.ok()) {
+            SSMT_WARN("batch job '" + batch[i].name + "' failed: " +
+                      result.error);
+        }
     });
     return results;
 }

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "sim/faultinject.hh"
 #include "sim/machine_config.hh"
+#include "sim/sim_error.hh"
 #include "sim/stats.hh"
 
 namespace ssmt
@@ -45,6 +47,32 @@ struct BatchResult
 {
     Stats stats;
     double hostSeconds = 0.0;   ///< host wall-clock spent on this job
+    /** Empty on success; the final attempt's diagnostic otherwise. */
+    std::string error;
+    ErrorCode errorCode = ErrorCode::None;
+    /** Simulation attempts consumed (1 on clean success; up to
+     *  1 + BatchPolicy::maxRetries on recoverable failures). */
+    unsigned attempts = 0;
+    /** What the job's fault plan did, if one was configured. */
+    FaultStats faults;
+
+    bool ok() const { return errorCode == ErrorCode::None; }
+};
+
+/** Per-batch failure handling knobs. */
+struct BatchPolicy
+{
+    /** Extra attempts after a *recoverable* failure (SimError with
+     *  recoverable() true). Non-recoverable failures — bad configs,
+     *  invariant violations — never retry. */
+    unsigned maxRetries = 0;
+    /** Per-job cycle watchdog; 0 disables it. A tripped watchdog is
+     *  a recoverable failure. */
+    uint64_t cycleBudget = 0;
+    /** Deterministically re-mix the job's fault seed on each retry
+     *  (so a fault-induced hang gets a genuinely different fault
+     *  schedule the second time around). */
+    bool reseedFaultsOnRetry = true;
 };
 
 class BatchRunner
@@ -73,8 +101,33 @@ class BatchRunner
      * jobs[i]. Simulated Stats are byte-identical to running the
      * same jobs serially in order; only hostSeconds varies between
      * runs.
+     *
+     * Fault-tolerant: a failing job (thrown SimError or any other
+     * exception) becomes a BatchResult with `error` set — it never
+     * kills the batch, and every other job still completes.
+     * Recoverable failures are retried per @p policy with a
+     * deterministically re-mixed fault seed. Failed jobs are
+     * summarized on stderr (rate-limited); use failureSummary() for
+     * a report-ready digest.
      */
-    std::vector<BatchResult> run(const std::vector<BatchJob> &batch) const;
+    std::vector<BatchResult> run(const std::vector<BatchJob> &batch,
+                                 const BatchPolicy &policy) const;
+
+    std::vector<BatchResult>
+    run(const std::vector<BatchJob> &batch) const
+    {
+        return run(batch, BatchPolicy{});
+    }
+
+    /** The fault seed used for attempt @p attempt of a job whose
+     *  plan was seeded with @p seed (attempt 0 returns @p seed).
+     *  Pure and deterministic, so retried batches reproduce. */
+    static uint64_t retrySeed(uint64_t seed, unsigned attempt);
+
+    /** One line per failed result ("" when everything succeeded). */
+    static std::string
+    failureSummary(const std::vector<BatchJob> &batch,
+                   const std::vector<BatchResult> &results);
 
   private:
     unsigned jobs_;

@@ -1,0 +1,93 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/sim_error.hh"
+
+namespace ssmt
+{
+namespace detail
+{
+
+namespace
+{
+
+std::atomic<bool> fatalThrows_{[] {
+    const char *env = std::getenv("SSMT_FATAL_THROWS");
+    return env && env[0] != '\0' && env[0] != '0';
+}()};
+
+std::atomic<uint64_t> warnEmitted_{0};
+std::atomic<uint64_t> warnSuppressed_{0};
+
+} // namespace
+
+void
+setFatalThrows(bool enabled)
+{
+    fatalThrows_.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+fatalThrows()
+{
+    return fatalThrows_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+warnSuppressedTotal()
+{
+    return warnSuppressed_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+warnEmittedTotal()
+{
+    return warnEmitted_.load(std::memory_order_relaxed);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (fatalThrows()) {
+        throw sim::FatalError(std::string(file) + ":" +
+                                  std::to_string(line),
+                              msg);
+    }
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg,
+         WarnSite &site)
+{
+    const uint64_t n =
+        site.count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n <= kWarnVerbatimPerSite) {
+        warnEmitted_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    } else if (n == kWarnVerbatimPerSite + 1) {
+        warnEmitted_.fetch_add(1, std::memory_order_relaxed);
+        warnSuppressed_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "warn: further warnings from %s:%d suppressed "
+                     "after %llu occurrences\n",
+                     file, line,
+                     (unsigned long long)kWarnVerbatimPerSite);
+    } else {
+        warnSuppressed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace detail
+} // namespace ssmt

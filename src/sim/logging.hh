@@ -5,18 +5,27 @@
  * panic()  - an internal invariant was violated (simulator bug);
  *            aborts so a debugger/core dump can capture state.
  * fatal()  - the user asked for something unsatisfiable (bad
- *            configuration, bad workload parameters); exits cleanly.
+ *            configuration, bad workload parameters). By default this
+ *            exits cleanly, preserving the historical CLI behavior;
+ *            in fatal-throws mode (setFatalThrows(true), or the
+ *            SSMT_FATAL_THROWS environment variable) it throws
+ *            sim::FatalError instead, so library callers and tests
+ *            can observe the failure without dying. CLIs that enable
+ *            the mode catch at main() and keep exit(1).
  * warn()   - something questionable happened but simulation can
- *            continue.
+ *            continue. Warnings are rate-limited per call site: the
+ *            first kWarnVerbatimPerSite fire verbatim, then one
+ *            suppression notice, then silence (counted) — so a fault
+ *            campaign or a --jobs 16 batch cannot flood stderr. All
+ *            counters are thread-safe.
  */
 
 #ifndef SSMT_SIM_LOGGING_HH
 #define SSMT_SIM_LOGGING_HH
 
-#include <cstdio>
-#include <cstdlib>
+#include <atomic>
+#include <cstdint>
 #include <string>
-#include <utility>
 
 namespace ssmt
 {
@@ -24,25 +33,31 @@ namespace ssmt
 namespace detail
 {
 
-[[noreturn]] inline void
-panicImpl(const char *file, int line, const std::string &msg)
-{
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::abort();
-}
+/** Warnings printed verbatim per site before suppression kicks in. */
+constexpr uint64_t kWarnVerbatimPerSite = 5;
 
-[[noreturn]] inline void
-fatalImpl(const char *file, int line, const std::string &msg)
+/** Per-call-site warning state (one static instance per SSMT_WARN). */
+struct WarnSite
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
-}
+    std::atomic<uint64_t> count{0};
+};
 
-inline void
-warnImpl(const char *file, int line, const std::string &msg)
-{
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
-}
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg,
+              WarnSite &site);
+
+/** Enable/disable throwing sim::FatalError from SSMT_FATAL. */
+void setFatalThrows(bool enabled);
+/** Current fatal-throws mode (env SSMT_FATAL_THROWS seeds it). */
+bool fatalThrows();
+
+/** Total warnings swallowed by rate limiting, process-wide. */
+uint64_t warnSuppressedTotal();
+/** Total warnings actually printed, process-wide. */
+uint64_t warnEmittedTotal();
 
 } // namespace detail
 
@@ -53,7 +68,11 @@ warnImpl(const char *file, int line, const std::string &msg)
 #define SSMT_FATAL(msg) \
     ::ssmt::detail::fatalImpl(__FILE__, __LINE__, (msg))
 #define SSMT_WARN(msg) \
-    ::ssmt::detail::warnImpl(__FILE__, __LINE__, (msg))
+    do { \
+        static ::ssmt::detail::WarnSite ssmt_warn_site_; \
+        ::ssmt::detail::warnImpl(__FILE__, __LINE__, (msg), \
+                                 ssmt_warn_site_); \
+    } while (0)
 
 /** Assert an internal invariant; always on (simulators must not lie). */
 #define SSMT_ASSERT(cond, msg) \

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/sim_error.hh"
+
 namespace ssmt
 {
 namespace sim
@@ -23,6 +25,114 @@ modeName(Mode mode)
         return "oracle-all-branches";
     }
     return "?";
+}
+
+std::vector<std::string>
+MachineConfig::validate() const
+{
+    std::vector<std::string> out;
+    auto require = [&](bool ok, const std::string &diag) {
+        if (!ok)
+            out.push_back(diag);
+    };
+
+    require(fetchWidth >= 1,
+            "fetchWidth must be >= 1 (got " +
+                std::to_string(fetchWidth) + ")");
+    require(maxBranchPredsPerCycle >= 1,
+            "maxBranchPredsPerCycle must be >= 1 (got " +
+                std::to_string(maxBranchPredsPerCycle) + ")");
+    require(maxICacheLinesPerCycle >= 1,
+            "maxICacheLinesPerCycle must be >= 1 (got " +
+                std::to_string(maxICacheLinesPerCycle) + ")");
+    require(redirectPenalty >= 0,
+            "redirectPenalty must be >= 0 (got " +
+                std::to_string(redirectPenalty) + ")");
+    require(windowSize >= 1,
+            "windowSize must be >= 1 (got " +
+                std::to_string(windowSize) + ")");
+    require(numFUs >= 1,
+            "numFUs must be >= 1 (got " + std::to_string(numFUs) +
+                ")");
+    require(l1dReadPorts >= 1,
+            "l1dReadPorts must be >= 1 (got " +
+                std::to_string(l1dReadPorts) + ")");
+
+    require(mem.lineBytes > 0,
+            "mem.lineBytes must be > 0 (got " +
+                std::to_string(mem.lineBytes) + ")");
+    require(mem.l1Latency >= 1,
+            "mem.l1Latency must be >= 1 (got " +
+                std::to_string(mem.l1Latency) + ")");
+    // Microthread dispatch charges frontendDepth - l1Latency cycles
+    // (the I-cache stage is skipped); a shallower front end would
+    // wrap the unsigned cycle arithmetic.
+    require(frontendDepth >= mem.l1Latency,
+            "frontendDepth (" + std::to_string(frontendDepth) +
+                ") must be >= mem.l1Latency (" +
+                std::to_string(mem.l1Latency) +
+                "): microthread dispatch skips only the I-cache "
+                "stage of the front end");
+
+    require(pathN >= 1 && pathN <= 16,
+            "pathN must be in [1,16] (got " + std::to_string(pathN) +
+                "); the path tracker keeps 16 branches of history");
+    require(difficultyThreshold >= 0.0 && difficultyThreshold <= 1.0,
+            "difficultyThreshold must be in [0,1] (got " +
+                std::to_string(difficultyThreshold) + ")");
+    require(pathCacheEntries > 0 && pathCacheAssoc > 0,
+            "pathCacheEntries and pathCacheAssoc must be > 0");
+    if (pathCacheEntries > 0 && pathCacheAssoc > 0) {
+        require(pathCacheEntries % pathCacheAssoc == 0,
+                "pathCacheEntries (" +
+                    std::to_string(pathCacheEntries) +
+                    ") must be a multiple of pathCacheAssoc (" +
+                    std::to_string(pathCacheAssoc) + ")");
+        uint32_t sets = pathCacheEntries / pathCacheAssoc;
+        require(sets > 0 && (sets & (sets - 1)) == 0,
+                "pathCacheEntries / pathCacheAssoc must be a power "
+                "of two (got " +
+                    std::to_string(sets) + " sets)");
+    }
+    require(trainingInterval > 0, "trainingInterval must be > 0");
+    require(microRamEntries > 0, "microRamEntries must be > 0");
+    require(predictionCacheEntries > 0,
+            "predictionCacheEntries must be > 0");
+    require(prbEntries > 0, "prbEntries must be > 0");
+    require(numMicrocontexts > 0, "numMicrocontexts must be > 0");
+    require(builder.mcbEntries >= 1,
+            "builder.mcbEntries must be >= 1 (got " +
+                std::to_string(builder.mcbEntries) + ")");
+    require(buildLatency >= 0,
+            "buildLatency must be >= 0 (got " +
+                std::to_string(buildLatency) + ")");
+    require(!throttleEnabled || throttleWindow > 0,
+            "throttleWindow must be > 0 when the throttle is on");
+    require(vpredEntries > 0, "vpredEntries must be > 0");
+
+    require(maxInsts > 0, "maxInsts must be > 0");
+    require(maxCycles > 0, "maxCycles must be > 0");
+
+    std::string fault_diag = faults.validate();
+    if (!fault_diag.empty())
+        out.push_back(fault_diag);
+
+    return out;
+}
+
+void
+MachineConfig::validateOrThrow() const
+{
+    std::vector<std::string> diags = validate();
+    if (diags.empty())
+        return;
+    std::string joined;
+    for (const std::string &diag : diags) {
+        if (!joined.empty())
+            joined += "; ";
+        joined += diag;
+    }
+    throw SimError(ErrorCode::ConfigInvalid, "machine_config", joined);
 }
 
 std::string

@@ -16,6 +16,7 @@
 
 #include "core/uthread_builder.hh"
 #include "memory/hierarchy.hh"
+#include "sim/faultinject.hh"
 
 namespace ssmt
 {
@@ -108,6 +109,20 @@ struct MachineConfig
     uint64_t maxCycles = 2'000'000'000; ///< cycle safety stop
     /** Pipeline-event trace ring capacity; 0 disables tracing. */
     size_t traceCapacity = 0;
+
+    /** Seeded fault injection into speculative state (disabled by
+     *  default; see sim/faultinject.hh). */
+    FaultPlan faults;
+
+    /**
+     * Check every knob for a value the simulator cannot honor.
+     * @return one actionable diagnostic per problem (empty = valid).
+     */
+    std::vector<std::string> validate() const;
+
+    /** Throw SimError(ConfigInvalid) listing every validate()
+     *  diagnostic; no-op on a valid config. */
+    void validateOrThrow() const;
 
     /** Human-readable dump (Table 3-style). */
     std::string toString() const;

@@ -1,10 +1,12 @@
 #include "sim/sim_runner.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "cpu/ssmt_core.hh"
 #include "sim/invariants.hh"
 #include "sim/logging.hh"
+#include "sim/sim_error.hh"
 
 namespace ssmt
 {
@@ -14,6 +16,7 @@ namespace sim
 Stats
 runProgram(const isa::Program &prog, const MachineConfig &config)
 {
+    config.validateOrThrow();
     cpu::SsmtCore core(prog, config);
     Stats stats = core.run();
     // End-of-run self-check: a violated counter relation or occupancy
@@ -26,6 +29,47 @@ runProgram(const isa::Program &prog, const MachineConfig &config)
                    StatsChecker::describe(violations));
     }
     StatsChecker::enforce(stats, modeName(config.mode));
+    return stats;
+}
+
+Stats
+runProgramChecked(const isa::Program &prog, const MachineConfig &config,
+                  const std::string &label, uint64_t cycle_budget,
+                  FaultStats *fault_stats)
+{
+    config.validateOrThrow();
+
+    MachineConfig cfg = config;
+    if (cycle_budget > 0)
+        cfg.maxCycles = std::min(cfg.maxCycles, cycle_budget);
+
+    cpu::SsmtCore core(prog, cfg);
+    Stats stats = core.run();
+    if (fault_stats)
+        *fault_stats = core.faultStats();
+
+    if (cycle_budget > 0 && !core.done() &&
+        stats.cycles >= cfg.maxCycles &&
+        stats.retiredInsts < cfg.maxInsts) {
+        throw SimError(ErrorCode::WatchdogExpired, "sim_runner",
+                       "run '" + label + "' did not complete within " +
+                           std::to_string(cfg.maxCycles) +
+                           " cycles (" +
+                           std::to_string(stats.retiredInsts) +
+                           " insts retired); likely hung or "
+                           "underprovisioned cycle budget",
+                       /*recoverable=*/true);
+    }
+
+    std::vector<InvariantViolation> violations =
+        core.checkStructuralInvariants();
+    for (const InvariantViolation &v : StatsChecker::check(stats))
+        violations.push_back(v);
+    if (!violations.empty()) {
+        throw SimError(ErrorCode::InvariantViolation, "sim_runner",
+                       "run '" + label + "' ended inconsistent:\n" +
+                           StatsChecker::describe(violations));
+    }
     return stats;
 }
 

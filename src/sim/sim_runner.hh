@@ -7,9 +7,11 @@
 #ifndef SSMT_SIM_SIM_RUNNER_HH
 #define SSMT_SIM_SIM_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "isa/program.hh"
+#include "sim/faultinject.hh"
 #include "sim/machine_config.hh"
 #include "sim/stats.hh"
 
@@ -18,8 +20,31 @@ namespace ssmt
 namespace sim
 {
 
-/** Run @p prog to completion under @p config and return the stats. */
+/** Run @p prog to completion under @p config and return the stats.
+ *  Panics on an end-of-run invariant violation (a simulator bug must
+ *  never flow into a results table); throws SimError(ConfigInvalid)
+ *  on an unsatisfiable configuration. */
 Stats runProgram(const isa::Program &prog, const MachineConfig &config);
+
+/**
+ * The throwing flavor of runProgram for batch/campaign drivers:
+ * every failure mode becomes a SimError the caller can record or
+ * retry instead of dying —
+ *  - ConfigInvalid (non-recoverable) from MachineConfig::validate(),
+ *  - InvariantViolation (non-recoverable) when the end-of-run
+ *    StatsChecker or structural self-check trips,
+ *  - WatchdogExpired (recoverable) when @p cycle_budget > 0 and the
+ *    run neither halted nor reached a configured stop within it.
+ *
+ * @param label       run name used in error context strings
+ * @param cycle_budget per-job watchdog; 0 = no watchdog
+ * @param fault_stats  optional out-param: what the fault plan did
+ */
+Stats runProgramChecked(const isa::Program &prog,
+                        const MachineConfig &config,
+                        const std::string &label,
+                        uint64_t cycle_budget = 0,
+                        FaultStats *fault_stats = nullptr);
 
 /** IPC speed-up of @p test over @p baseline, as plotted in the
  *  paper's Figures 6 and 7 (1.0 = no change). */

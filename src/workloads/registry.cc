@@ -61,7 +61,11 @@ makeWorkload(const std::string &name, const WorkloadParams &p)
     for (const WorkloadInfo &info : allWorkloads())
         if (info.name == name)
             return info.make(p);
-    SSMT_FATAL("unknown workload: " + name);
+    std::string known;
+    for (const WorkloadInfo &info : allWorkloads())
+        known += (known.empty() ? "" : ", ") + info.name;
+    SSMT_FATAL("unknown workload: " + name + " (known: " + known +
+               ")");
 }
 
 } // namespace workloads

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * ssmt_faultcamp: seeded fault-injection campaigns against the
+ * speculative helper state.
+ *
+ * For every (workload, fault site) cell the tool runs the workload
+ * under the golden microthread configuration with a seeded FaultPlan
+ * and asserts the central robustness property of the mechanism: the
+ * architectural counters (retired instructions, branch and
+ * hardware-misprediction counts) are byte-identical to the fault-free
+ * run of the same workload — corrupting the Prediction Cache, Path
+ * Cache, MicroRAM or the spawn machinery may cost cycles but must
+ * never steer the committed stream. With --golden-dir the clean runs
+ * are additionally pinned against the committed golden/ snapshots.
+ *
+ * Usage:
+ *   ssmt_faultcamp [--workloads a,b,...|all] [--site S|all]
+ *                  [--count N] [--seed S] [--period P] [--jobs N]
+ *                  [--budget CYCLES] [--golden-dir D] [--out FILE]
+ *
+ * Output: an `ssmt-faultcamp-v1` JSON report (stdout or --out) with
+ * one record per cell: faults armed/injected, architectural match,
+ * cycle delta, and any per-job error captured by the BatchRunner.
+ *
+ * Exit status: 0 all cells architecturally identical and error-free,
+ * 1 any mismatch/failed cell, 2 bad usage or unreadable snapshots.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.hh"
+#include "sim/faultinject.hh"
+#include "sim/golden.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+struct Options
+{
+    std::vector<std::string> workloads = {"comp", "go", "li",
+                                          "mcf_2k", "parser_2k"};
+    std::vector<sim::FaultSite> sites;  // empty = all
+    uint64_t count = 10;
+    uint64_t seed = 12345;
+    uint64_t period = 200;
+    uint64_t budget = 0;
+    unsigned jobs = 0;
+    std::string goldenDir;
+    std::string outPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int status)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workloads a,b,...|all] [--site S|all]\n"
+        "          [--count N] [--seed S] [--period P] [--jobs N]\n"
+        "          [--budget CYCLES] [--golden-dir D] [--out FILE]\n"
+        "fault sites:",
+        argv0);
+    for (sim::FaultSite site : sim::allFaultSites())
+        std::fprintf(stderr, " %s", sim::faultSiteName(site));
+    std::fprintf(stderr, "\n");
+    std::exit(status);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < arg.size()) {
+        size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > pos)
+            out.push_back(arg.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        auto number = [&]() -> uint64_t {
+            std::string text = value();
+            char *end = nullptr;
+            unsigned long long parsed =
+                std::strtoull(text.c_str(), &end, 10);
+            if (!end || *end != '\0') {
+                std::fprintf(stderr, "%s: %s needs a number\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return parsed;
+        };
+        if (arg == "--workloads") {
+            std::string text = value();
+            if (text == "all") {
+                opt.workloads.clear();
+                for (const auto &info : workloads::allWorkloads())
+                    opt.workloads.push_back(info.name);
+            } else {
+                opt.workloads = splitCommas(text);
+            }
+        } else if (arg == "--site") {
+            std::string text = value();
+            if (text == "all") {
+                opt.sites.clear();
+            } else {
+                for (const std::string &name : splitCommas(text)) {
+                    sim::FaultSite site;
+                    if (!sim::parseFaultSite(name, &site) ||
+                        site == sim::FaultSite::None) {
+                        std::fprintf(stderr,
+                                     "%s: unknown fault site '%s'\n",
+                                     argv[0], name.c_str());
+                        usage(argv[0], 2);
+                    }
+                    opt.sites.push_back(site);
+                }
+            }
+        } else if (arg == "--count") {
+            opt.count = number();
+        } else if (arg == "--seed") {
+            opt.seed = number();
+        } else if (arg == "--period") {
+            opt.period = number();
+        } else if (arg == "--budget") {
+            opt.budget = number();
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(number());
+        } else if (arg == "--golden-dir") {
+            opt.goldenDir = value();
+        } else if (arg == "--out") {
+            opt.outPath = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    if (opt.sites.empty())
+        opt.sites = sim::allFaultSites();
+    if (opt.seed == 0)
+        opt.seed = 1;
+    return opt;
+}
+
+/** splitmix64-style mix for per-cell fault seeds. */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x ? x : 1;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (!file)
+        return "";
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    std::fclose(file);
+    return text;
+}
+
+struct Cell
+{
+    std::string workload;
+    sim::FaultSite site;    // None = the clean reference run
+    uint64_t seed = 0;
+};
+
+int
+runCampaign(const Options &opt)
+{
+    std::vector<workloads::WorkloadInfo> suite;
+    for (const std::string &name : opt.workloads) {
+        bool found = false;
+        for (const auto &info : workloads::allWorkloads()) {
+            if (info.name == name) {
+                suite.push_back(info);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    // One clean reference cell per workload, then one faulted cell
+    // per (workload, site).
+    sim::MachineConfig clean_cfg = sim::goldenMachineConfig();
+    std::vector<Cell> cells;
+    std::vector<sim::BatchJob> batch;
+    for (size_t w = 0; w < suite.size(); w++) {
+        isa::Program prog = suite[w].make({});
+        cells.push_back({suite[w].name, sim::FaultSite::None, 0});
+        batch.push_back({suite[w].name + "/clean", prog, clean_cfg});
+        for (size_t s = 0; s < opt.sites.size(); s++) {
+            sim::MachineConfig cfg = clean_cfg;
+            cfg.faults.site = opt.sites[s];
+            cfg.faults.count = opt.count;
+            cfg.faults.period = opt.period;
+            cfg.faults.seed =
+                mix64(opt.seed ^ (w * 1000003ull + s * 7919ull + 1));
+            cells.push_back(
+                {suite[w].name, opt.sites[s], cfg.faults.seed});
+            batch.push_back({suite[w].name + "/" +
+                                 sim::faultSiteName(opt.sites[s]),
+                             prog, cfg});
+        }
+    }
+
+    sim::BatchPolicy policy;
+    policy.cycleBudget = opt.budget;
+    std::vector<sim::BatchResult> results =
+        sim::BatchRunner(opt.jobs).run(batch, policy);
+
+    // Index the clean runs and check them against golden/ if asked.
+    size_t stride = 1 + opt.sites.size();
+    int failures = 0;
+    std::vector<sim::ArchSignature> reference(suite.size());
+    for (size_t w = 0; w < suite.size(); w++) {
+        const sim::BatchResult &clean = results[w * stride];
+        if (!clean.ok()) {
+            std::fprintf(stderr, "clean run %s failed: %s\n",
+                         suite[w].name.c_str(), clean.error.c_str());
+            failures++;
+            continue;
+        }
+        reference[w] = sim::ArchSignature::of(clean.stats);
+        if (opt.goldenDir.empty())
+            continue;
+        std::string path = opt.goldenDir + "/" +
+                           sim::goldenFileName(suite[w].name);
+        std::string text = readFile(path);
+        sim::GoldenRun want;
+        std::string err;
+        if (text.empty() || !sim::parseGolden(text, want, &err)) {
+            std::fprintf(stderr, "cannot read golden snapshot %s%s%s\n",
+                         path.c_str(), err.empty() ? "" : ": ",
+                         err.c_str());
+            return 2;
+        }
+        sim::ArchSignature golden_sig =
+            sim::ArchSignature::of(want.stats);
+        std::string diff = reference[w].diff(golden_sig);
+        if (!diff.empty()) {
+            std::fprintf(stderr,
+                         "GOLDEN MISMATCH %s: clean run vs %s: %s\n",
+                         suite[w].name.c_str(), path.c_str(),
+                         diff.c_str());
+            failures++;
+        }
+    }
+
+    // ---- Per-cell verdicts + report ----
+    std::string json;
+    json += "{\n  \"schema\": \"ssmt-faultcamp-v1\",\n";
+    json += "  \"seed\": " + std::to_string(opt.seed) + ",\n";
+    json += "  \"count_per_cell\": " + std::to_string(opt.count) +
+            ",\n  \"cells\": [\n";
+
+    uint64_t total_injected = 0;
+    uint64_t total_armed = 0;
+    size_t faulted_cells = 0;
+    size_t arch_mismatches = 0;
+    size_t errored_cells = 0;
+    bool first = true;
+    for (size_t i = 0; i < cells.size(); i++) {
+        const Cell &cell = cells[i];
+        if (cell.site == sim::FaultSite::None)
+            continue;
+        const sim::BatchResult &result = results[i];
+        const sim::BatchResult &clean =
+            results[(i / stride) * stride];
+        faulted_cells++;
+
+        bool arch_match = false;
+        if (result.ok() && clean.ok()) {
+            sim::ArchSignature sig =
+                sim::ArchSignature::of(result.stats);
+            std::string diff =
+                sig.diff(reference[i / stride]);
+            arch_match = diff.empty();
+            if (!arch_match) {
+                std::fprintf(stderr, "ARCH MISMATCH %s: %s\n",
+                             batch[i].name.c_str(), diff.c_str());
+                arch_mismatches++;
+                failures++;
+            }
+        } else if (!result.ok()) {
+            std::fprintf(stderr, "cell %s failed: %s\n",
+                         batch[i].name.c_str(), result.error.c_str());
+            errored_cells++;
+            failures++;
+        }
+        total_injected += result.faults.injected;
+        total_armed += result.faults.armed;
+
+        int64_t cycle_delta =
+            result.ok() && clean.ok()
+                ? static_cast<int64_t>(result.stats.cycles) -
+                      static_cast<int64_t>(clean.stats.cycles)
+                : 0;
+        json += first ? "" : ",\n";
+        first = false;
+        json += "    {\"workload\": \"" + cell.workload +
+                "\", \"site\": \"" + sim::faultSiteName(cell.site) +
+                "\", \"seed\": " + std::to_string(cell.seed) +
+                ", \"armed\": " +
+                std::to_string(result.faults.armed) +
+                ", \"injected\": " +
+                std::to_string(result.faults.injected) +
+                ", \"no_target\": " +
+                std::to_string(result.faults.noTarget) +
+                ", \"arch_match\": " +
+                (arch_match ? "true" : "false") +
+                ", \"cycle_delta\": " + std::to_string(cycle_delta) +
+                ", \"attempts\": " + std::to_string(result.attempts) +
+                ", \"error\": \"" +
+                (result.ok() ? "" : sim::errorCodeName(
+                                        result.errorCode)) +
+                "\"}";
+    }
+    json += "\n  ],\n";
+    json += "  \"summary\": {\"workloads\": " +
+            std::to_string(suite.size()) +
+            ", \"faulted_cells\": " + std::to_string(faulted_cells) +
+            ", \"faults_injected\": " +
+            std::to_string(total_injected) +
+            ", \"faults_armed\": " + std::to_string(total_armed) +
+            ", \"arch_mismatches\": " +
+            std::to_string(arch_mismatches) +
+            ", \"errored_cells\": " + std::to_string(errored_cells) +
+            ", \"golden_checked\": " +
+            (opt.goldenDir.empty() ? "false" : "true") + "}\n}\n";
+
+    if (!opt.outPath.empty()) {
+        std::FILE *out = std::fopen(opt.outPath.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.outPath.c_str());
+            return 2;
+        }
+        std::fputs(json.c_str(), out);
+        std::fclose(out);
+    } else {
+        std::fputs(json.c_str(), stdout);
+    }
+
+    std::fprintf(stderr,
+                 "[faultcamp] %zu workloads x %zu sites: %llu faults "
+                 "injected, %zu arch mismatches, %zu errored cells\n",
+                 suite.size(), opt.sites.size(),
+                 static_cast<unsigned long long>(total_injected),
+                 arch_mismatches, errored_cells);
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Library errors must surface as catchable exceptions here, so a
+    // bad flag combination reports cleanly instead of exiting from
+    // the middle of the batch.
+    ssmt::detail::setFatalThrows(true);
+    Options opt = parseOptions(argc, argv);
+    try {
+        return runCampaign(opt);
+    } catch (const ssmt::sim::SimError &err) {
+        std::fprintf(stderr, "faultcamp: %s\n", err.what());
+        return 2;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "faultcamp: %s\n", err.what());
+        return 2;
+    }
+}

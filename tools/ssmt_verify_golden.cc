@@ -243,6 +243,14 @@ main(int argc, char **argv)
 
     sim::BatchRunner runner(opt.jobs);
     std::vector<sim::BatchResult> results = runner.run(batch);
+    for (size_t i = 0; i < results.size(); i++) {
+        if (!results[i].ok()) {
+            std::fprintf(stderr, "job %s failed: %s\n",
+                         batch[i].name.c_str(),
+                         results[i].error.c_str());
+            return 2;
+        }
+    }
 
     if (opt.update) {
         for (size_t i = 0; i < suite.size(); i++) {
@@ -353,6 +361,14 @@ main(int argc, char **argv)
         }
         std::vector<sim::BatchResult> diff_results =
             runner.run(diff_batch);
+        for (size_t i = 0; i < diff_results.size(); i++) {
+            if (!diff_results[i].ok()) {
+                std::fprintf(stderr, "job %s failed: %s\n",
+                             diff_batch[i].name.c_str(),
+                             diff_results[i].error.c_str());
+                return 2;
+            }
+        }
         for (size_t i = 0; i < suite.size(); i++) {
             differential_failures += checkDifferential(
                 suite[i].name, diff_results[3 * i].stats,
