@@ -36,9 +36,14 @@ SsmtCore::SsmtCore(const isa::Program &prog,
       microRam_(config.microRamEntries),
       pcache_(config.predictionCacheEntries), fu_(config.numFUs),
       l1dPorts_(config.l1dReadPorts), trace_(config.traceCapacity),
+      sampler_(config.sampleInterval, config),
       contexts_(config.numMicrocontexts), faults_(config.faults)
 {
     SSMT_ASSERT(prog.size() > 0, "cannot simulate an empty program");
+    if (!cfg_.tracePath.empty() && !trace_.streamTo(cfg_.tracePath)) {
+        SSMT_WARN("cannot open tracePath '" + cfg_.tracePath +
+                  "' for JSONL streaming; trace stream disabled");
+    }
     SSMT_ASSERT(config.pathN >= 1 && config.pathN <= 16,
                 "path n must be in [1,16]");
     prog_.loadData(mem_);
@@ -98,6 +103,8 @@ SsmtCore::tick()
     if (fetched == 0 && !halted_)
         stats_.fetchBubbleCycles++;
     stats_.cycles = cycle_;
+    if (sampler_.due(cycle_))
+        sampler_.sample(cycle_, liveStats(), currentGauges());
 }
 
 // ---------------------------------------------------------------------
@@ -647,7 +654,9 @@ SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
             pendingSpawnDelay_ = 0;
         }
         stats_.spawns++;
-        trace_.record(cycle_, TraceEvent::Spawn, pc, seq, id);
+        trace_.record(cycle_, TraceEvent::Spawn, pc, seq, id,
+                      static_cast<uint32_t>(free_ctx -
+                                            contexts_.data()));
         noteSpawn(id);
     }
 }
@@ -704,7 +713,8 @@ SsmtCore::abortContext(Microcontext &ctx)
     ctx.aborted = true;
     stats_.abortsPostSpawn++;
     trace_.record(cycle_, TraceEvent::ThreadAbort, 0, ctx.spawnSeq,
-                  ctx.thread ? ctx.thread->pathId : 0);
+                  ctx.thread ? ctx.thread->pathId : 0,
+                  static_cast<uint32_t>(&ctx - contexts_.data()));
     if (ctx.drained())
         ctx.reset();
 }
@@ -825,7 +835,8 @@ SsmtCore::processMicroEvents()
                 stats_.microthreadsCompleted++;
                 trace_.record(cycle_, TraceEvent::ThreadComplete, 0,
                               ctx.spawnSeq,
-                              ctx.thread ? ctx.thread->pathId : 0);
+                              ctx.thread ? ctx.thread->pathId : 0,
+                              event.ctx);
             }
             ctx.reset();
         }
@@ -850,7 +861,7 @@ SsmtCore::handleStPCacheArrival(const MicroCompletion &event)
                       : stats_.microPredWrong++;
         noteUsefulPrediction(event.pathId);
         trace_.record(cycle_, TraceEvent::PredLate, 0,
-                      event.targetSeq, event.pathId);
+                      event.targetSeq, event.pathId, event.ctx);
 
         bool differs = event.taken != br.usedTaken ||
                        (event.taken && event.target != br.usedTarget);
@@ -909,6 +920,49 @@ SsmtCore::handleStPCacheArrival(const MicroCompletion &event)
 // ---------------------------------------------------------------------
 
 void
+SsmtCore::populateSubstrateCounters(sim::Stats &stats) const
+{
+    stats.pathCacheUpdates = pathCache_.updates();
+    stats.pathCacheAllocations = pathCache_.allocations();
+    stats.pathCacheAllocationsSkipped =
+        pathCache_.allocationsSkipped();
+    stats.pcacheWrites = pcache_.writes();
+    stats.pcacheLookupHits = pcache_.lookupHits();
+    stats.l1dMisses = hier_.l1d().misses();
+    stats.l1dAccesses = hier_.l1d().accesses();
+    stats.l2Misses = hier_.l2().misses();
+    stats.l2Accesses = hier_.l2().accesses();
+    stats.build = builder_.stats();
+}
+
+sim::Stats
+SsmtCore::liveStats() const
+{
+    // A mid-run view with the substrate counters filled in; unlike
+    // finalizeStats() this never reclaims the prediction cache, so
+    // sampling is side-effect free.
+    sim::Stats out = stats_;
+    populateSubstrateCounters(out);
+    out.cycles = cycle_;
+    return out;
+}
+
+sim::OccupancyGauges
+SsmtCore::currentGauges() const
+{
+    sim::OccupancyGauges g;
+    g.prbEntries = prb_.size();
+    uint64_t live = 0;
+    for (const Microcontext &ctx : contexts_)
+        live += ctx.active ? 1 : 0;
+    g.liveMicrocontexts = live;
+    g.pcacheValidEntries = pcache_.occupancy();
+    g.microRamRoutines = microRam_.size();
+    g.windowFill = windowOccupancy();
+    return g;
+}
+
+void
 SsmtCore::finalizeStats()
 {
     if (finalized_)
@@ -916,18 +970,10 @@ SsmtCore::finalizeStats()
     finalized_ = true;
     pcache_.reclaimOlderThan(~0ull);
     stats_.predNeverReached += pcache_.reclaimedUnconsumed();
-    stats_.pathCacheUpdates = pathCache_.updates();
-    stats_.pathCacheAllocations = pathCache_.allocations();
-    stats_.pathCacheAllocationsSkipped =
-        pathCache_.allocationsSkipped();
-    stats_.pcacheWrites = pcache_.writes();
-    stats_.pcacheLookupHits = pcache_.lookupHits();
-    stats_.l1dMisses = hier_.l1d().misses();
-    stats_.l1dAccesses = hier_.l1d().accesses();
-    stats_.l2Misses = hier_.l2().misses();
-    stats_.l2Accesses = hier_.l2().accesses();
-    stats_.build = builder_.stats();
+    populateSubstrateCounters(stats_);
     stats_.cycles = cycle_;
+    if (sampler_.enabled())
+        sampler_.finalize(cycle_, stats_, currentGauges());
 }
 
 // ---------------------------------------------------------------------

@@ -42,6 +42,7 @@
 #include "sim/faultinject.hh"
 #include "sim/invariants.hh"
 #include "sim/machine_config.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "vpred/value_predictor.hh"
 
@@ -82,6 +83,17 @@ class SsmtCore
     const memory::Hierarchy &hierarchy() const { return hier_; }
     const bpred::FrontEndPredictor &frontend() const { return fep_; }
     const PipelineTrace &trace() const { return trace_; }
+
+    /** The interval time-series captured when cfg.sampleInterval > 0
+     *  (empty, interval 0 otherwise). Stable after run(). */
+    const sim::MetricsSeries &series() const
+    {
+        return sampler_.series();
+    }
+
+    /** Current fill levels of the bounded structures (the sampling
+     *  hook; also useful for tests and examples). */
+    sim::OccupancyGauges currentGauges() const;
 
     /** What the configured fault plan actually did (see
      *  sim/faultinject.hh; all zeros when injection is disabled). */
@@ -166,6 +178,7 @@ class SsmtCore
     FuPool l1dPorts_;   ///< Table 3: 4 L1 data read ports per cycle
     PipelineTrace trace_;
     sim::Stats stats_;
+    sim::IntervalSampler sampler_;
 
     // ---- Pipeline state ----
     uint64_t cycle_ = 0;
@@ -256,6 +269,8 @@ class SsmtCore
     void handlePromotion(core::PathId id, bool is_rebuild);
     void demote(core::PathId id);
     void finalizeStats();
+    void populateSubstrateCounters(sim::Stats &stats) const;
+    sim::Stats liveStats() const;
 
     static bool predMatches(bool pred_taken, uint64_t pred_target,
                             bool actual_taken, uint64_t actual_target);

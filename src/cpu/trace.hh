@@ -2,17 +2,28 @@
  * @file
  * Pipeline event trace: an optional, bounded ring of timestamped
  * events the SSMT core emits at its decision points. Disabled (zero
- * capacity) by default, so the hot path pays one predictable branch.
+ * capacity, no stream) by default, so the hot path pays one
+ * predictable branch.
  *
- * Intended for debugging mechanism behaviour ("why did this spawn
- * abort?") and for teaching — difficult_path_explorer-style tools
- * can replay the last few hundred events of a run.
+ * Two capture modes compose freely:
+ *  - the bounded ring retains the last `capacity` events for
+ *    post-run inspection (text dump or Chrome-trace export), and
+ *  - an optional JSONL stream appends every event as one JSON line
+ *    to a file, for unbounded captures that would overflow any ring.
+ *
+ * chromeTraceJson() converts retained events into the Chrome
+ * trace-event format (load it in Perfetto or chrome://tracing): one
+ * track per microcontext carrying microthread-lifetime slices, a
+ * mechanism track for Promote/Demote/Spawn/PredEarly/PredLate-style
+ * events, and a primary track for fetch/retire/mispredict marks.
+ * One simulated cycle is rendered as one microsecond.
  */
 
 #ifndef SSMT_CPU_TRACE_HH
 #define SSMT_CPU_TRACE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -40,6 +51,9 @@ enum class TraceEvent : uint8_t
 
 const char *traceEventName(TraceEvent event);
 
+/** TraceRecord::ctx when the event has no owning microcontext. */
+constexpr uint32_t kNoTraceCtx = 0xffffffffu;
+
 struct TraceRecord
 {
     uint64_t cycle = 0;
@@ -47,37 +61,48 @@ struct TraceRecord
     uint64_t pc = 0;
     uint64_t seq = 0;
     uint64_t aux = 0;
+    /** Owning microcontext index, or kNoTraceCtx. */
+    uint32_t ctx = kNoTraceCtx;
 
     std::string toString() const;
+
+    /** One-line JSON object (the JSONL streaming format). */
+    std::string toJsonLine() const;
 };
 
 class PipelineTrace
 {
   public:
-    /** @param capacity ring size; 0 disables tracing entirely. */
+    /** @param capacity ring size; 0 disables the ring. */
     explicit PipelineTrace(size_t capacity = 0);
+    ~PipelineTrace();
 
-    bool enabled() const { return !ring_.empty(); }
+    PipelineTrace(const PipelineTrace &) = delete;
+    PipelineTrace &operator=(const PipelineTrace &) = delete;
+
+    bool enabled() const { return !ring_.empty() || stream_; }
+
+    /**
+     * Start streaming every subsequent record as one JSON line to
+     * @p path (truncates an existing file). Works with or without a
+     * ring. @return false if the file cannot be opened.
+     */
+    bool streamTo(const std::string &path);
+
+    /** Flush and close the JSONL stream (no-op when not streaming). */
+    void closeStream();
 
     void
     record(uint64_t cycle, TraceEvent event, uint64_t pc = 0,
-           uint64_t seq = 0, uint64_t aux = 0)
+           uint64_t seq = 0, uint64_t aux = 0,
+           uint32_t ctx = kNoTraceCtx)
     {
-        if (ring_.empty())
+        if (ring_.empty() && !stream_)
             return;
-        totalRecorded_++;
-        TraceRecord &slot = ring_[head_];
-        slot.cycle = cycle;
-        slot.event = event;
-        slot.pc = pc;
-        slot.seq = seq;
-        slot.aux = aux;
-        head_ = (head_ + 1) % ring_.size();
-        if (size_ < ring_.size())
-            size_++;
+        recordSlow(cycle, event, pc, seq, aux, ctx);
     }
 
-    /** Events currently retained, oldest first. */
+    /** Events currently retained in the ring, oldest first. */
     std::vector<TraceRecord> records() const;
 
     /** Number of retained events. */
@@ -92,11 +117,24 @@ class PipelineTrace
     void clear();
 
   private:
+    void recordSlow(uint64_t cycle, TraceEvent event, uint64_t pc,
+                    uint64_t seq, uint64_t aux, uint32_t ctx);
+
     std::vector<TraceRecord> ring_;
     size_t head_ = 0;
     size_t size_ = 0;
     uint64_t totalRecorded_ = 0;
+    std::FILE *stream_ = nullptr;
 };
+
+/**
+ * Chrome trace-event JSON for @p records (see the file header).
+ * Deterministic: depends only on the record sequence.
+ */
+std::string chromeTraceJson(const std::vector<TraceRecord> &records);
+
+/** Convenience: chromeTraceJson over the ring's retained events. */
+std::string chromeTraceJson(const PipelineTrace &trace);
 
 } // namespace cpu
 } // namespace ssmt

@@ -147,7 +147,8 @@ BatchRunner::run(const std::vector<BatchJob> &batch,
             try {
                 result.stats = runProgramChecked(
                     batch[i].program, config, batch[i].name,
-                    policy.cycleBudget, &result.faults);
+                    policy.cycleBudget, &result.faults,
+                    &result.artifacts);
                 result.error.clear();
                 result.errorCode = ErrorCode::None;
                 break;

@@ -27,6 +27,7 @@
 #include "sim/faultinject.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_error.hh"
+#include "sim/sim_runner.hh"
 #include "sim/stats.hh"
 
 namespace ssmt
@@ -55,6 +56,10 @@ struct BatchResult
     unsigned attempts = 0;
     /** What the job's fault plan did, if one was configured. */
     FaultStats faults;
+    /** Observability captures (config.sampleInterval /
+     *  config.traceCapacity); empty when those knobs are off. Like
+     *  Stats, bit-identical across worker counts. */
+    RunArtifacts artifacts;
 
     bool ok() const { return errorCode == ErrorCode::None; }
 };

@@ -34,14 +34,25 @@ BenchJson::addRun(const std::string &workload,
                   const std::string &config, double host_seconds,
                   const Stats &stats)
 {
-    runs_.push_back({workload, config, host_seconds, true, stats});
+    runs_.push_back(
+        {workload, config, host_seconds, true, stats, {}});
+}
+
+void
+BenchJson::addRun(const std::string &workload,
+                  const std::string &config, double host_seconds,
+                  const Stats &stats, const MetricsSeries &series)
+{
+    runs_.push_back(
+        {workload, config, host_seconds, true, stats, series});
 }
 
 void
 BenchJson::addTiming(const std::string &workload,
                      const std::string &config, double host_seconds)
 {
-    runs_.push_back({workload, config, host_seconds, false, Stats{}});
+    runs_.push_back(
+        {workload, config, host_seconds, false, Stats{}, {}});
 }
 
 std::string
@@ -138,6 +149,8 @@ BenchJson::str() const
             appendField(out, "pcacheLookupHits", s.pcacheLookupHits,
                         false);
         }
+        if (run.series.enabled())
+            out << ", \"series\": " << seriesJson(run.series);
         out << "}";
     }
     out << (runs_.empty() ? "]" : "\n  ]") << "\n}\n";

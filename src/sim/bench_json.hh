@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 
 namespace ssmt
@@ -64,6 +65,14 @@ class BenchJson
     /** Record one simulation cell. */
     void addRun(const std::string &workload, const std::string &config,
                 double host_seconds, const Stats &stats);
+
+    /** Record a cell that also captured an interval time-series; the
+     *  run's entry gains a versioned `"series"` block (schema
+     *  `ssmt-series-v1`). A disabled series degrades to the plain
+     *  addRun so callers can pass artifacts unconditionally. */
+    void addRun(const std::string &workload, const std::string &config,
+                double host_seconds, const Stats &stats,
+                const MetricsSeries &series);
 
     /** Record a cell with timing but no simulator stats (profiler
      *  passes and other non-SsmtCore measurements). */
@@ -99,6 +108,7 @@ class BenchJson
         double hostSeconds;
         bool hasStats;
         Stats stats;
+        MetricsSeries series;   ///< empty unless sampling was on
     };
 
     std::string bench_;

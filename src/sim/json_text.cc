@@ -1,6 +1,8 @@
 #include "sim/json_text.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace ssmt
@@ -142,8 +144,17 @@ struct Parser
         out.kind = JsonValue::Kind::Number;
         out.number = std::strtod(token.c_str(), nullptr);
         if (integral && !negative) {
-            out.isInteger = true;
-            out.integer = std::strtoull(token.c_str(), nullptr, 10);
+            // A literal beyond uint64_t range saturates strtoull at
+            // ULLONG_MAX with errno == ERANGE; keep only the double
+            // view then, so u64() takes its checked-fallback path
+            // instead of returning a silently wrapped value.
+            errno = 0;
+            uint64_t parsed =
+                std::strtoull(token.c_str(), nullptr, 10);
+            if (errno != ERANGE) {
+                out.isInteger = true;
+                out.integer = parsed;
+            }
         }
         return true;
     }
@@ -246,8 +257,16 @@ JsonValue::u64(const std::string &key, uint64_t fallback) const
     const JsonValue *v = find(key);
     if (!v || v->kind != Kind::Number)
         return fallback;
-    return v->isInteger ? v->integer
-                        : static_cast<uint64_t>(v->number);
+    if (v->isInteger)
+        return v->integer;
+    // Converting a double outside [0, 2^64) (or NaN) to uint64_t is
+    // undefined behavior, not a wrap: range-check first and treat
+    // unrepresentable values like a missing field.
+    if (!std::isfinite(v->number) || v->number < 0.0 ||
+        v->number >= 18446744073709551616.0) {
+        return fallback;
+    }
+    return static_cast<uint64_t>(v->number);
 }
 
 std::string

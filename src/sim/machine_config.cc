@@ -113,6 +113,22 @@ MachineConfig::validate() const
     require(maxInsts > 0, "maxInsts must be > 0");
     require(maxCycles > 0, "maxCycles must be > 0");
 
+    // A sample retains every Stats counter plus the gauges (~450
+    // bytes); refuse intervals that could ask for an absurd series.
+    if (sampleInterval > 0) {
+        uint64_t worst_case_samples = maxCycles / sampleInterval;
+        require(worst_case_samples <= 50'000'000,
+                "sampleInterval " + std::to_string(sampleInterval) +
+                    " is too fine for maxCycles " +
+                    std::to_string(maxCycles) + " (would retain up "
+                    "to " + std::to_string(worst_case_samples) +
+                    " samples); raise sampleInterval or lower "
+                    "maxCycles");
+    }
+    require(tracePath.empty() || tracePath.back() != '/',
+            "tracePath must name a file, not a directory (got '" +
+                tracePath + "')");
+
     std::string fault_diag = faults.validate();
     if (!fault_diag.empty())
         out.push_back(fault_diag);

@@ -107,8 +107,18 @@ struct MachineConfig
     // ---- Run control ----
     uint64_t maxInsts = 100'000'000;    ///< retire-count safety stop
     uint64_t maxCycles = 2'000'000'000; ///< cycle safety stop
-    /** Pipeline-event trace ring capacity; 0 disables tracing. */
+    /** Pipeline-event trace ring capacity; 0 disables the ring. */
     size_t traceCapacity = 0;
+
+    // ---- Observability (sim/metrics.hh, cpu/trace.hh) ----
+    /** Snapshot the full Stats counter set plus occupancy gauges
+     *  every N cycles into a deterministic time-series (and feed the
+     *  per-component occupancy histograms); 0 disables sampling. */
+    uint64_t sampleInterval = 0;
+    /** Stream every pipeline-trace event as one JSON line (JSONL)
+     *  to this file — the unbounded capture mode, independent of the
+     *  bounded traceCapacity ring. Empty disables streaming. */
+    std::string tracePath;
 
     /** Seeded fault injection into speculative state (disabled by
      *  default; see sim/faultinject.hh). */

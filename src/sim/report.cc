@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <cmath>
 #include <cstdio>
 
 namespace ssmt
@@ -10,12 +11,17 @@ namespace sim
 std::string
 asciiBar(double value, double unit, int max_chars)
 {
-    int chars = unit > 0.0 ? static_cast<int>(value / unit) : 0;
-    if (chars < 0)
-        chars = 0;
-    if (chars > max_chars)
-        chars = max_chars;
-    return std::string(static_cast<size_t>(chars), '#');
+    if (max_chars <= 0 || unit <= 0.0)
+        return "";
+    // value/unit can be NaN or ±inf (e.g. an IPC ratio over a run
+    // that made no progress); casting those to int is undefined
+    // behavior, so clamp in the double domain first.
+    double scaled = value / unit;
+    if (std::isnan(scaled) || scaled <= 0.0)
+        return "";
+    if (scaled >= static_cast<double>(max_chars))
+        return std::string(static_cast<size_t>(max_chars), '#');
+    return std::string(static_cast<size_t>(scaled), '#');
 }
 
 std::string
@@ -37,6 +43,12 @@ padRight(const std::string &text, int width)
 std::string
 fmt(double value, int decimals)
 {
+    // Render non-finite values explicitly rather than leaning on
+    // printf's locale-ish "nan"/"inf" spellings.
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value > 0.0 ? "inf" : "-inf";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
     return buf;

@@ -35,7 +35,7 @@ runProgram(const isa::Program &prog, const MachineConfig &config)
 Stats
 runProgramChecked(const isa::Program &prog, const MachineConfig &config,
                   const std::string &label, uint64_t cycle_budget,
-                  FaultStats *fault_stats)
+                  FaultStats *fault_stats, RunArtifacts *artifacts)
 {
     config.validateOrThrow();
 
@@ -47,6 +47,10 @@ runProgramChecked(const isa::Program &prog, const MachineConfig &config,
     Stats stats = core.run();
     if (fault_stats)
         *fault_stats = core.faultStats();
+    if (artifacts) {
+        artifacts->series = core.series();
+        artifacts->trace = core.trace().records();
+    }
 
     if (cycle_budget > 0 && !core.done() &&
         stats.cycles >= cfg.maxCycles &&

@@ -10,15 +10,28 @@
 #include <string>
 #include <vector>
 
+#include "cpu/trace.hh"
 #include "isa/program.hh"
 #include "sim/faultinject.hh"
 #include "sim/machine_config.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 
 namespace ssmt
 {
 namespace sim
 {
+
+/** Observability captures produced by a run when the corresponding
+ *  MachineConfig knobs are set; empty (and cheap) otherwise. */
+struct RunArtifacts
+{
+    /** Interval time-series (cfg.sampleInterval > 0). */
+    MetricsSeries series;
+    /** Bounded pipeline-event capture (cfg.traceCapacity > 0),
+     *  oldest first; feed to cpu::chromeTraceJson() for Perfetto. */
+    std::vector<cpu::TraceRecord> trace;
+};
 
 /** Run @p prog to completion under @p config and return the stats.
  *  Panics on an end-of-run invariant violation (a simulator bug must
@@ -39,12 +52,14 @@ Stats runProgram(const isa::Program &prog, const MachineConfig &config);
  * @param label       run name used in error context strings
  * @param cycle_budget per-job watchdog; 0 = no watchdog
  * @param fault_stats  optional out-param: what the fault plan did
+ * @param artifacts    optional out-param: time-series and trace
  */
 Stats runProgramChecked(const isa::Program &prog,
                         const MachineConfig &config,
                         const std::string &label,
                         uint64_t cycle_budget = 0,
-                        FaultStats *fault_stats = nullptr);
+                        FaultStats *fault_stats = nullptr,
+                        RunArtifacts *artifacts = nullptr);
 
 /** IPC speed-up of @p test over @p baseline, as plotted in the
  *  paper's Figures 6 and 7 (1.0 = no change). */

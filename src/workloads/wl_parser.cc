@@ -21,6 +21,44 @@ namespace workloads
 using isa::ProgramBuilder;
 using isa::R;
 
+ParserTrie
+buildParserTrie(Rng &rng, size_t max_nodes)
+{
+    constexpr int kAlpha = 8;               // reduced alphabet
+
+    ParserTrie out;
+    out.nodes.resize(1);                    // root
+    for (int w = 0; w < 160; w++) {
+        std::vector<uint64_t> word;
+        int len = 2 + static_cast<int>(rng.nextBelow(6));
+        for (int i = 0; i < len; i++)
+            word.push_back(rng.nextBelow(kAlpha));
+        size_t node = 0;
+        size_t consumed = 0;
+        for (uint64_t ch : word) {
+            if (out.nodes[node][ch] == 0) {
+                if (out.nodes.size() >= max_nodes)
+                    break;
+                out.nodes.push_back({});
+                out.nodes[node][ch] = out.nodes.size() - 1;
+            }
+            node = out.nodes[node][ch];
+            consumed++;
+        }
+        if (consumed == 0)
+            continue;       // cap hit at the root: drop the word
+        // When the node cap cut the insertion short, truncate the
+        // dictionary entry to the inserted prefix — marking the full
+        // word terminal here would accept a string the trie never
+        // stored (and feed the text generator words the simulated
+        // parser must reject).
+        word.resize(consumed);
+        out.nodes[node][8] = 1;
+        out.dict.push_back(std::move(word));
+    }
+    return out;
+}
+
 isa::Program
 makeParser_2k(const WorkloadParams &p)
 {
@@ -33,29 +71,11 @@ makeParser_2k(const WorkloadParams &p)
     ProgramBuilder b;
     Rng rng(p.seed);
 
-    // Host-side trie build over a random dictionary.
-    // Node layout: words [0..7] = child node addresses (0 = none),
-    // word [8] = terminal flag.
-    std::vector<std::array<uint64_t, 9>> trie(1);
-    std::vector<std::vector<uint64_t>> dict;
-    for (int w = 0; w < 160; w++) {
-        std::vector<uint64_t> word;
-        int len = 2 + static_cast<int>(rng.nextBelow(6));
-        for (int i = 0; i < len; i++)
-            word.push_back(rng.nextBelow(kAlpha));
-        dict.push_back(word);
-        size_t node = 0;
-        for (uint64_t ch : word) {
-            if (trie[node][ch] == 0) {
-                if (trie.size() >= kMaxNodes)
-                    break;
-                trie.push_back({});
-                trie[node][ch] = trie.size() - 1;   // node index
-            }
-            node = trie[node][ch];
-        }
-        trie[node][8] = 1;
-    }
+    // Host-side trie build over a random dictionary (see
+    // buildParserTrie for the node layout and the cap semantics).
+    ParserTrie built = buildParserTrie(rng, kMaxNodes);
+    const auto &trie = built.nodes;
+    const auto &dict = built.dict;
     // Flatten with addresses.
     std::vector<uint64_t> trie_words;
     trie_words.reserve(trie.size() * 9);

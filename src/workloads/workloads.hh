@@ -19,6 +19,7 @@
 #ifndef SSMT_WORKLOADS_WORKLOADS_HH
 #define SSMT_WORKLOADS_WORKLOADS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -118,6 +119,26 @@ std::vector<std::string> workloadNames();
 /** Build a workload by name; SSMT_FATALs on an unknown name. */
 isa::Program makeWorkload(const std::string &name,
                           const WorkloadParams &p = {});
+
+// ---- parser_2k dictionary trie (exposed for tests) ----
+
+/** The parser_2k workload's host-built character trie plus the
+ *  dictionary it indexes. Node layout: words [0..7] = child node
+ *  indices (0 = none), word [8] = terminal flag. */
+struct ParserTrie
+{
+    std::vector<std::array<uint64_t, 9>> nodes;
+    /** Every word here is accepted by the trie, even when the node
+     *  cap truncated an insertion (the word is truncated with it). */
+    std::vector<std::vector<uint64_t>> dict;
+};
+
+/**
+ * Build parser_2k's random dictionary and trie, capped at
+ * @p max_nodes trie nodes. Draws from @p rng exactly as the workload
+ * generator always has, so the caller's stream continues unchanged.
+ */
+ParserTrie buildParserTrie(Rng &rng, size_t max_nodes);
 
 // ---- Parameterizable synthetic kernel (tests / ablations) ----
 

@@ -3,6 +3,8 @@
  * Tests for the text-report helpers.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "sim/report.hh"
@@ -30,6 +32,18 @@ TEST(ReportTest, AsciiBarNegativeAndZeroUnit)
     EXPECT_EQ(asciiBar(5.0, 0.0), "");
 }
 
+TEST(ReportTest, AsciiBarNonFinite)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    // Casting a non-finite double to int is undefined behavior; the
+    // bar must clamp in the double domain instead.
+    EXPECT_EQ(asciiBar(inf, 1.0, 10).size(), 10u);
+    EXPECT_EQ(asciiBar(-inf, 1.0, 10), "");
+    EXPECT_EQ(asciiBar(nan, 1.0, 10), "");
+    EXPECT_EQ(asciiBar(1.0, 0.0, 10), "");  // inf ratio via unit
+}
+
 TEST(ReportTest, Padding)
 {
     EXPECT_EQ(padLeft("ab", 5), "   ab");
@@ -42,6 +56,15 @@ TEST(ReportTest, FmtDecimals)
     EXPECT_EQ(fmt(3.14159, 2), "3.14");
     EXPECT_EQ(fmt(2.0, 0), "2");
     EXPECT_EQ(fmt(0.5, 3), "0.500");
+}
+
+TEST(ReportTest, FmtNonFinite)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(fmt(nan, 2), "nan");
+    EXPECT_EQ(fmt(inf, 2), "inf");
+    EXPECT_EQ(fmt(-inf, 2), "-inf");
 }
 
 TEST(ReportTest, Rule)

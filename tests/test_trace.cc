@@ -3,10 +3,13 @@
  * Tests for the pipeline event trace.
  */
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "cpu/ssmt_core.hh"
 #include "cpu/trace.hh"
+#include "sim/json_text.hh"
 #include "sim/sim_runner.hh"
 #include "workloads/workloads.hh"
 
@@ -120,6 +123,139 @@ TEST(TraceTest, TracingDoesNotPerturbTiming)
     sim::Stats on = sim::runProgram(prog, cfg);
     EXPECT_EQ(off.cycles, on.cycles);
     EXPECT_EQ(off.spawns, on.spawns);
+}
+
+isa::Program
+tracedProgram()
+{
+    workloads::SyntheticSpec spec;
+    spec.takenPercent = {0, 100, 80, 80};
+    spec.iters = 200;
+    return workloads::makeSynthetic(spec);
+}
+
+TEST(TraceTest, MicrothreadLifecycleEventsCarryContext)
+{
+    sim::MachineConfig cfg;
+    cfg.mode = sim::Mode::Microthread;
+    cfg.traceCapacity = 1 << 16;
+    cpu::SsmtCore core(tracedProgram(), cfg);
+    core.run();
+
+    bool saw_spawn_ctx = false, saw_end_ctx = false;
+    for (const TraceRecord &rec : core.trace().records()) {
+        switch (rec.event) {
+          case TraceEvent::Spawn:
+            EXPECT_NE(rec.ctx, cpu::kNoTraceCtx);
+            EXPECT_LT(rec.ctx, cfg.numMicrocontexts);
+            saw_spawn_ctx = true;
+            break;
+          case TraceEvent::ThreadAbort:
+          case TraceEvent::ThreadComplete:
+            EXPECT_NE(rec.ctx, cpu::kNoTraceCtx);
+            saw_end_ctx = true;
+            break;
+          case TraceEvent::Fetch:
+          case TraceEvent::Retire:
+            EXPECT_EQ(rec.ctx, cpu::kNoTraceCtx);
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_spawn_ctx);
+    EXPECT_TRUE(saw_end_ctx);
+}
+
+TEST(TraceTest, ChromeTraceJsonIsValidAndHasTracks)
+{
+    sim::MachineConfig cfg;
+    cfg.mode = sim::Mode::Microthread;
+    cfg.traceCapacity = 1 << 16;
+    cpu::SsmtCore core(tracedProgram(), cfg);
+    core.run();
+
+    std::string doc = cpu::chromeTraceJson(core.trace());
+    sim::JsonValue root;
+    std::string err;
+    ASSERT_TRUE(sim::parseJson(doc, root, &err)) << err;
+
+    const sim::JsonValue *other = root.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->str("schema"), "ssmt-chrome-trace-v1");
+
+    const sim::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_FALSE(events->items.empty());
+
+    bool saw_primary_name = false, saw_ctx_name = false,
+         saw_slice = false, saw_instant = false;
+    for (const sim::JsonValue &event : events->items) {
+        std::string ph = event.str("ph");
+        if (ph == "M") {
+            const sim::JsonValue *args = event.find("args");
+            ASSERT_NE(args, nullptr);
+            if (args->str("name") == "primary")
+                saw_primary_name = true;
+            if (args->str("name").rfind("uctx", 0) == 0)
+                saw_ctx_name = true;
+        } else if (ph == "X") {
+            saw_slice = true;
+            EXPECT_GE(event.u64("dur", 0), 1u);
+            EXPECT_GE(event.u64("tid", 0), 2u);  // microcontext track
+        } else if (ph == "i") {
+            saw_instant = true;
+        }
+    }
+    EXPECT_TRUE(saw_primary_name);
+    EXPECT_TRUE(saw_ctx_name);
+    EXPECT_TRUE(saw_slice);
+    EXPECT_TRUE(saw_instant);
+}
+
+TEST(TraceTest, JsonlStreamCapturesEveryEvent)
+{
+    std::string path = testing::TempDir() + "/ssmt_trace_test.jsonl";
+    sim::MachineConfig cfg;
+    cfg.mode = sim::Mode::Microthread;
+    cfg.traceCapacity = 16;         // tiny ring; stream is unbounded
+    cfg.tracePath = path;
+    uint64_t total = 0;
+    {
+        // Scoped so the core's destructor closes (and flushes) the
+        // stream before the file is read back.
+        cpu::SsmtCore core(tracedProgram(), cfg);
+        core.run();
+        total = core.trace().totalRecorded();
+    }
+    ASSERT_GT(total, 16u);
+
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    char line[512];
+    uint64_t lines = 0;
+    while (std::fgets(line, sizeof(line), file)) {
+        lines++;
+        if (lines <= 5 || lines == total) {
+            sim::JsonValue root;
+            std::string err;
+            EXPECT_TRUE(sim::parseJson(line, root, &err))
+                << "line " << lines << ": " << err;
+            EXPECT_FALSE(root.str("event").empty());
+        }
+    }
+    std::fclose(file);
+    EXPECT_EQ(lines, total);
+    std::remove(path.c_str());
+}
+
+TEST(TraceTest, JsonLineIncludesContextOnlyWhenSet)
+{
+    TraceRecord plain{5, TraceEvent::Fetch, 1, 2, 3};
+    EXPECT_EQ(plain.toJsonLine().find("\"ctx\""), std::string::npos);
+    TraceRecord tagged{5, TraceEvent::Spawn, 1, 2, 3, 4};
+    EXPECT_NE(tagged.toJsonLine().find("\"ctx\": 4"),
+              std::string::npos);
 }
 
 } // namespace

@@ -169,4 +169,64 @@ TEST(SyntheticKernelDeathTest, MismatchedBiasesPanic)
     EXPECT_DEATH(workloads::makeSynthetic(spec), "one entry per site");
 }
 
+// ---- parser_2k dictionary trie ----
+
+/** Walk @p word through the trie; true iff every edge exists and the
+ *  final node carries the terminal mark. */
+bool
+trieAccepts(const workloads::ParserTrie &trie,
+            const std::vector<uint64_t> &word)
+{
+    size_t node = 0;
+    for (uint64_t ch : word) {
+        uint64_t child = trie.nodes[node][ch];
+        if (child == 0)
+            return false;
+        node = child;
+    }
+    return trie.nodes[node][8] == 1;
+}
+
+TEST(ParserTrieTest, EveryDictWordIsAccepted)
+{
+    // The default build never hits the node cap; every word must be
+    // stored whole and accepted.
+    workloads::Rng rng(0x5eed);
+    workloads::ParserTrie trie =
+        workloads::buildParserTrie(rng, 2048);
+    EXPECT_EQ(trie.dict.size(), 160u);
+    EXPECT_LT(trie.nodes.size(), 2048u);
+    for (const auto &word : trie.dict)
+        EXPECT_TRUE(trieAccepts(trie, word));
+}
+
+TEST(ParserTrieTest, NodeCapKeepsDictAndTrieConsistent)
+{
+    // A cap small enough to truncate insertions mid-word: the buggy
+    // build marked the partial prefix terminal while the dict kept
+    // the full word, so dict words existed that the trie rejected.
+    for (size_t cap : {2u, 8u, 32u, 128u}) {
+        workloads::Rng rng(0x5eed);
+        workloads::ParserTrie trie =
+            workloads::buildParserTrie(rng, cap);
+        EXPECT_LE(trie.nodes.size(), cap);
+        EXPECT_LE(trie.dict.size(), 160u);
+        for (const auto &word : trie.dict) {
+            EXPECT_FALSE(word.empty());
+            EXPECT_TRUE(trieAccepts(trie, word))
+                << "cap " << cap << ": dict word rejected";
+        }
+    }
+}
+
+TEST(ParserTrieTest, BuildConsumesRngDeterministically)
+{
+    // Two builds from the same seed leave the stream in the same
+    // place — the workload's text generation depends on it.
+    workloads::Rng a(0x5eed), b(0x5eed);
+    workloads::buildParserTrie(a, 2048);
+    workloads::buildParserTrie(b, 64);  // cap changes nothing drawn
+    EXPECT_EQ(a.next(), b.next());
+}
+
 } // namespace

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * ssmt_trace: run registered workloads with the observability layer
+ * switched on and write the captured artifacts —
+ *
+ *   <out-dir>/<workload>.series.json   interval time-series +
+ *                                      occupancy histograms
+ *                                      (schema ssmt-series-v1)
+ *   <out-dir>/<workload>.trace.json    Chrome trace-event JSON;
+ *                                      load via Perfetto
+ *                                      (ui.perfetto.dev) or
+ *                                      chrome://tracing
+ *   <out-dir>/<workload>.trace.jsonl   with --jsonl: every pipeline
+ *                                      event streamed as one JSON
+ *                                      line (unbounded capture)
+ *
+ * Both artifacts are deterministic: identical (workload, config,
+ * scale, seed) runs produce byte-identical files regardless of
+ * --jobs, because each simulation is an isolated single-threaded
+ * core and sampling happens at fixed cycle multiples.
+ *
+ * Usage:
+ *   ssmt_trace --workload a[,b,...]|all [--mode M]
+ *              [--sample-interval N] [--trace-capacity N]
+ *              [--scale N] [--seed S] [--jobs N] [--out-dir D]
+ *              [--jsonl]
+ *
+ * Exit status: 0 clean, 1 simulation or I/O failure, 2 bad usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "sim/batch_runner.hh"
+#include "sim/golden.hh"
+#include "sim/metrics.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    sim::Mode mode = sim::Mode::Microthread;
+    uint64_t sampleInterval = 1000;
+    size_t traceCapacity = 65536;
+    uint64_t scale = 1;
+    uint64_t seed = 0x5eed;
+    unsigned jobs = 0;
+    std::string outDir = ".";
+    bool jsonl = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int status)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --workload a[,b,...]|all [--mode M]\n"
+        "          [--sample-interval N] [--trace-capacity N]\n"
+        "          [--scale N] [--seed S] [--jobs N] [--out-dir D]\n"
+        "          [--jsonl]\n"
+        "modes: baseline, oracle-difficult-path, microthread,\n"
+        "       microthread-no-predictions, oracle-all-branches\n",
+        argv0);
+    std::exit(status);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < arg.size()) {
+        size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        if (comma > pos)
+            out.push_back(arg.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseMode(const std::string &name, sim::Mode &out)
+{
+    const sim::Mode all[] = {
+        sim::Mode::Baseline, sim::Mode::OracleDifficultPath,
+        sim::Mode::Microthread, sim::Mode::MicrothreadNoPredictions,
+        sim::Mode::OracleAllBranches};
+    for (sim::Mode mode : all) {
+        if (name == sim::modeName(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload" || arg == "--workloads") {
+            opt.workloads = splitCommas(value());
+        } else if (arg == "--mode") {
+            std::string name = value();
+            if (!parseMode(name, opt.mode)) {
+                std::fprintf(stderr, "%s: unknown mode '%s'\n",
+                             argv[0], name.c_str());
+                usage(argv[0], 2);
+            }
+        } else if (arg == "--sample-interval") {
+            opt.sampleInterval =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--trace-capacity") {
+            opt.traceCapacity = static_cast<size_t>(
+                std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--scale") {
+            opt.scale = std::strtoull(value().c_str(), nullptr, 10);
+            if (opt.scale == 0)
+                usage(argv[0], 2);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            long parsed = std::strtol(value().c_str(), nullptr, 10);
+            if (parsed <= 0)
+                usage(argv[0], 2);
+            opt.jobs = static_cast<unsigned>(parsed);
+        } else if (arg == "--out-dir") {
+            opt.outDir = value();
+        } else if (arg == "--jsonl") {
+            opt.jsonl = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    if (opt.workloads.empty()) {
+        std::fprintf(stderr, "%s: --workload is required\n", argv[0]);
+        usage(argv[0], 2);
+    }
+    if (opt.workloads.size() == 1 && opt.workloads[0] == "all")
+        opt.workloads = workloads::workloadNames();
+    return opt;
+}
+
+bool
+writeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    size_t written = std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    return written == body.size();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+
+    // The golden machine config keeps these artifacts comparable with
+    // the committed snapshots; only the observability knobs (and any
+    // explicit --mode) differ.
+    sim::MachineConfig cfg = sim::goldenMachineConfig();
+    cfg.mode = opt.mode;
+    cfg.sampleInterval = opt.sampleInterval;
+    cfg.traceCapacity = opt.traceCapacity;
+
+    workloads::WorkloadParams params;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+
+    std::vector<sim::BatchJob> batch;
+    batch.reserve(opt.workloads.size());
+    for (const std::string &name : opt.workloads) {
+        bool found = false;
+        for (const auto &info : workloads::allWorkloads()) {
+            if (info.name == name) {
+                sim::MachineConfig job_cfg = cfg;
+                if (opt.jsonl) {
+                    job_cfg.tracePath =
+                        opt.outDir + "/" + name + ".trace.jsonl";
+                }
+                batch.push_back({name, info.make(params), job_cfg});
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    sim::BatchRunner runner(opt.jobs);
+    std::vector<sim::BatchResult> results = runner.run(batch);
+
+    int failures = 0;
+    for (size_t i = 0; i < results.size(); i++) {
+        const std::string &name = batch[i].name;
+        const sim::BatchResult &result = results[i];
+        if (!result.ok()) {
+            std::fprintf(stderr, "%s: simulation failed: %s\n",
+                         name.c_str(), result.error.c_str());
+            failures++;
+            continue;
+        }
+
+        std::string config_name = sim::modeName(batch[i].config.mode);
+        if (opt.sampleInterval > 0) {
+            std::string path =
+                opt.outDir + "/" + name + ".series.json";
+            if (!sim::writeSeriesFile(path, result.artifacts.series,
+                                      name, config_name)) {
+                std::fprintf(stderr, "%s: cannot write %s\n",
+                             name.c_str(), path.c_str());
+                failures++;
+                continue;
+            }
+            std::printf("%s: %zu samples (interval %llu) -> %s\n",
+                        name.c_str(),
+                        result.artifacts.series.samples.size(),
+                        static_cast<unsigned long long>(
+                            result.artifacts.series.interval),
+                        path.c_str());
+        }
+        if (opt.traceCapacity > 0) {
+            std::string path =
+                opt.outDir + "/" + name + ".trace.json";
+            if (!writeFile(path,
+                           cpu::chromeTraceJson(
+                               result.artifacts.trace))) {
+                std::fprintf(stderr, "%s: cannot write %s\n",
+                             name.c_str(), path.c_str());
+                failures++;
+                continue;
+            }
+            std::printf("%s: %zu trace records -> %s\n", name.c_str(),
+                        result.artifacts.trace.size(), path.c_str());
+        }
+        if (opt.jsonl) {
+            std::printf("%s: JSONL stream -> %s\n", name.c_str(),
+                        batch[i].config.tracePath.c_str());
+        }
+    }
+
+    if (failures) {
+        std::fputs(sim::BatchRunner::failureSummary(batch, results)
+                       .c_str(),
+                   stderr);
+        return 1;
+    }
+    return 0;
+}
