@@ -1,5 +1,7 @@
 #include "bpred/btb.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -56,6 +58,51 @@ Btb::update(uint64_t pc, uint64_t target)
     victim->target = target;
     victim->lastUse = ++stamp_;
 }
+
+
+void
+Btb::save(sim::SnapshotWriter &w) const
+{
+    std::vector<uint64_t> valid, pc, target, last_use;
+    valid.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        valid.push_back(e.valid);
+        pc.push_back(e.pc);
+        target.push_back(e.target);
+        last_use.push_back(e.lastUse);
+    }
+    w.u64Array("valid", valid);
+    w.u64Array("pc", pc);
+    w.u64Array("target", target);
+    w.u64Array("lastUse", last_use);
+    w.u64("stamp", stamp_);
+    w.u64("hits", hits_);
+    w.u64("lookups", lookups_);
+}
+
+void
+Btb::restore(sim::SnapshotReader &r)
+{
+    std::vector<uint64_t> valid = r.u64Array("valid");
+    std::vector<uint64_t> pc = r.u64Array("pc");
+    std::vector<uint64_t> target = r.u64Array("target");
+    std::vector<uint64_t> last_use = r.u64Array("lastUse");
+    r.requireSize("valid", valid.size(), entries_.size());
+    r.requireSize("pc", pc.size(), entries_.size());
+    r.requireSize("target", target.size(), entries_.size());
+    r.requireSize("lastUse", last_use.size(), entries_.size());
+    for (size_t i = 0; i < entries_.size(); i++) {
+        entries_[i].valid = valid[i] != 0;
+        entries_[i].pc = pc[i];
+        entries_[i].target = target[i];
+        entries_[i].lastUse = last_use[i];
+    }
+    stamp_ = r.u64("stamp");
+    hits_ = r.u64("hits");
+    lookups_ = r.u64("lookups");
+}
+
+static_assert(sim::SnapshotterLike<Btb>);
 
 } // namespace bpred
 } // namespace ssmt

@@ -14,6 +14,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -31,6 +36,9 @@ class Btb
 
     uint64_t hits() const { return hits_; }
     uint64_t lookups() const { return lookups_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     struct Entry

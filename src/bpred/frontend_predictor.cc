@@ -1,5 +1,7 @@
 #include "bpred/frontend_predictor.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -108,6 +110,45 @@ FrontEndPredictor::predictAndTrain(uint64_t pc, const isa::Inst &inst,
     }
     return pred;
 }
+
+
+void
+FrontEndPredictor::save(sim::SnapshotWriter &w) const
+{
+    w.beginObject("hybrid");
+    hybrid_.save(w);
+    w.endObject();
+    w.beginObject("targetCache");
+    targetCache_.save(w);
+    w.endObject();
+    w.beginObject("ras");
+    ras_.save(w);
+    w.endObject();
+    w.u64("condPredictions", condPredictions_);
+    w.u64("condMispredicts", condMispredicts_);
+    w.u64("indPredictions", indPredictions_);
+    w.u64("indMispredicts", indMispredicts_);
+}
+
+void
+FrontEndPredictor::restore(sim::SnapshotReader &r)
+{
+    r.enter("hybrid");
+    hybrid_.restore(r);
+    r.leave();
+    r.enter("targetCache");
+    targetCache_.restore(r);
+    r.leave();
+    r.enter("ras");
+    ras_.restore(r);
+    r.leave();
+    condPredictions_ = r.u64("condPredictions");
+    condMispredicts_ = r.u64("condMispredicts");
+    indPredictions_ = r.u64("indPredictions");
+    indMispredicts_ = r.u64("indMispredicts");
+}
+
+static_assert(sim::SnapshotterLike<FrontEndPredictor>);
 
 } // namespace bpred
 } // namespace ssmt

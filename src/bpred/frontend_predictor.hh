@@ -23,6 +23,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -68,6 +73,9 @@ class FrontEndPredictor
     uint64_t indirectMispredicts() const { return indMispredicts_; }
 
     const Hybrid &hybrid() const { return hybrid_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     Hybrid hybrid_;

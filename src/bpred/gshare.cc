@@ -1,5 +1,7 @@
 #include "bpred/gshare.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -42,6 +44,29 @@ Gshare::pushHistory(bool taken)
     history_ = ((history_ << 1) | (taken ? 1 : 0)) &
                ((1ull << historyBits_) - 1);
 }
+
+
+void
+Gshare::save(sim::SnapshotWriter &w) const
+{
+    std::vector<uint64_t> pht(pht_.size());
+    for (size_t i = 0; i < pht_.size(); i++)
+        pht[i] = pht_[i].value();
+    w.u64Array("pht", pht);
+    w.u64("history", history_);
+}
+
+void
+Gshare::restore(sim::SnapshotReader &r)
+{
+    std::vector<uint64_t> pht = r.u64Array("pht");
+    r.requireSize("pht", pht.size(), pht_.size());
+    for (size_t i = 0; i < pht_.size(); i++)
+        pht_[i] = Counter2(static_cast<uint8_t>(pht[i]));
+    history_ = r.u64("history");
+}
+
+static_assert(sim::SnapshotterLike<Gshare>);
 
 } // namespace bpred
 } // namespace ssmt

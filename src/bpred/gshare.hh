@@ -15,6 +15,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -38,6 +43,9 @@ class Gshare
 
     uint64_t history() const { return history_; }
     uint64_t numEntries() const { return pht_.size(); }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<Counter2> pht_;

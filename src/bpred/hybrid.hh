@@ -16,6 +16,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -50,6 +55,9 @@ class Hybrid
                    : static_cast<double>(mispredictions_) /
                          static_cast<double>(predictions_);
     }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     Gshare gshare_;

@@ -1,5 +1,7 @@
 #include "bpred/pas.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -47,6 +49,31 @@ Pas::localHistory(uint64_t pc) const
 {
     return bht_[pc & bhtMask_];
 }
+
+
+void
+Pas::save(sim::SnapshotWriter &w) const
+{
+    w.u64Array("bht", bht_);
+    std::vector<uint64_t> pht(pht_.size());
+    for (size_t i = 0; i < pht_.size(); i++)
+        pht[i] = pht_[i].value();
+    w.u64Array("pht", pht);
+}
+
+void
+Pas::restore(sim::SnapshotReader &r)
+{
+    std::vector<uint64_t> bht = r.u64Array("bht");
+    r.requireSize("bht", bht.size(), bht_.size());
+    bht_ = std::move(bht);
+    std::vector<uint64_t> pht = r.u64Array("pht");
+    r.requireSize("pht", pht.size(), pht_.size());
+    for (size_t i = 0; i < pht_.size(); i++)
+        pht_[i] = Counter2(static_cast<uint8_t>(pht[i]));
+}
+
+static_assert(sim::SnapshotterLike<Pas>);
 
 } // namespace bpred
 } // namespace ssmt

@@ -17,6 +17,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -39,6 +44,9 @@ class Pas
 
     /** @return the local history of @p pc (for tests). */
     uint64_t localHistory(uint64_t pc) const;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<uint64_t> bht_;

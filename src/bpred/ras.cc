@@ -1,5 +1,7 @@
 #include "bpred/ras.hh"
 
+#include "sim/snapshot.hh"
+
 namespace ssmt
 {
 namespace bpred
@@ -36,6 +38,27 @@ Ras::top() const
     uint32_t idx = (topIdx_ + stack_.size() - 1) % stack_.size();
     return stack_[idx];
 }
+
+
+void
+Ras::save(sim::SnapshotWriter &w) const
+{
+    w.u64Array("stack", stack_);
+    w.u64("topIdx", topIdx_);
+    w.u64("size", size_);
+}
+
+void
+Ras::restore(sim::SnapshotReader &r)
+{
+    std::vector<uint64_t> stack = r.u64Array("stack");
+    r.requireSize("stack", stack.size(), stack_.size());
+    stack_ = std::move(stack);
+    topIdx_ = static_cast<uint32_t>(r.u64("topIdx"));
+    size_ = static_cast<uint32_t>(r.u64("size"));
+}
+
+static_assert(sim::SnapshotterLike<Ras>);
 
 } // namespace bpred
 } // namespace ssmt

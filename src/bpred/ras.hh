@@ -12,6 +12,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -31,6 +36,9 @@ class Ras
 
     uint32_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<uint64_t> stack_;

@@ -1,5 +1,7 @@
 #include "bpred/target_cache.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -32,6 +34,25 @@ TargetCache::update(uint64_t pc, uint64_t target)
     table_[index(pc)] = target;
     history_ = (history_ << 4) ^ target;
 }
+
+
+void
+TargetCache::save(sim::SnapshotWriter &w) const
+{
+    w.u64Array("table", table_);
+    w.u64("history", history_);
+}
+
+void
+TargetCache::restore(sim::SnapshotReader &r)
+{
+    std::vector<uint64_t> table = r.u64Array("table");
+    r.requireSize("table", table.size(), table_.size());
+    table_ = std::move(table);
+    history_ = r.u64("history");
+}
+
+static_assert(sim::SnapshotterLike<TargetCache>);
 
 } // namespace bpred
 } // namespace ssmt

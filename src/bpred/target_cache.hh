@@ -14,6 +14,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace bpred
 {
 
@@ -27,6 +32,9 @@ class TargetCache
 
     /** Train with the actual @p target and rotate it into history. */
     void update(uint64_t pc, uint64_t target);
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<uint64_t> table_;

@@ -1,5 +1,7 @@
 #include "core/microram.hh"
 
+#include "sim/snapshot.hh"
+
 #include <algorithm>
 
 #include "sim/logging.hh"
@@ -103,6 +105,74 @@ MicroRam::clear()
     routines_.clear();
     spawnIndex_.clear();
 }
+
+
+void
+MicroRam::save(sim::SnapshotWriter &w) const
+{
+    // Routines sorted by path id for canonical bytes.
+    std::vector<PathId> ids_sorted;
+    ids_sorted.reserve(routines_.size());
+    for (const auto &kv : routines_)
+        ids_sorted.push_back(kv.first);
+    std::sort(ids_sorted.begin(), ids_sorted.end());
+    w.beginArray("routines");
+    for (PathId id : ids_sorted) {
+        w.beginObject();
+        routines_.find(id)->second->save(w);
+        w.endObject();
+    }
+    w.endArray();
+    // The spawn index keyed by pc (sorted), each pc's id vector in
+    // its *verbatim* order: insert() moves a rebuilt routine to the
+    // back of its vector and routinesAt() drives spawn-attempt order,
+    // so this order is architecturally visible.
+    std::vector<uint64_t> pcs;
+    pcs.reserve(spawnIndex_.size());
+    for (const auto &kv : spawnIndex_)
+        pcs.push_back(kv.first);
+    std::sort(pcs.begin(), pcs.end());
+    w.beginArray("spawnIndex");
+    for (uint64_t pc : pcs) {
+        w.beginObject();
+        w.u64("pc", pc);
+        w.u64Array("ids", spawnIndex_.find(pc)->second);
+        w.endObject();
+    }
+    w.endArray();
+    w.u64("insertions", insertions_);
+    w.u64("rejectedFull", rejectedFull_);
+    w.u64("removals", removals_);
+}
+
+void
+MicroRam::restore(sim::SnapshotReader &r)
+{
+    routines_.clear();
+    spawnIndex_.clear();
+    size_t n = r.enterArray("routines");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        auto thread = std::make_shared<MicroThread>();
+        thread->restore(r);
+        const PathId id = thread->pathId;
+        routines_.emplace(id, std::move(thread));
+        r.leave();
+    }
+    r.leave();
+    n = r.enterArray("spawnIndex");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        spawnIndex_.emplace(r.u64("pc"), r.u64Array("ids"));
+        r.leave();
+    }
+    r.leave();
+    insertions_ = r.u64("insertions");
+    rejectedFull_ = r.u64("rejectedFull");
+    removals_ = r.u64("removals");
+}
+
+static_assert(sim::SnapshotterLike<MicroRam>);
 
 } // namespace core
 } // namespace ssmt

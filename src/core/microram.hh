@@ -20,6 +20,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -69,6 +74,9 @@ class MicroRam
     uint64_t removals() const { return removals_; }
 
     void clear();
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     uint32_t capacity_;

@@ -20,6 +20,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -40,6 +45,9 @@ struct MicroOp
     uint32_t prbPos = 0;    ///< PRB position the op came from
     bool vpConf = false;    ///< value predictor confident at build
     bool apConf = false;    ///< address predictor confident at build
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 };
 
 /** A taken branch the primary thread must execute for the path to
@@ -50,6 +58,9 @@ struct ExpectedBranch
     uint64_t target = 0;    ///< its destination
 
     bool operator==(const ExpectedBranch &) const = default;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 };
 
 /** A complete difficult-path prediction microthread. */
@@ -90,6 +101,9 @@ struct MicroThread
 
     /** Multi-line listing for debugging/examples. */
     std::string toString() const;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 };
 
 /**

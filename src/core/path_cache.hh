@@ -27,6 +27,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -121,6 +126,9 @@ class PathCache
      *  evicted-promotions drain, which the owner must demote).
      *  @return false if the cache is empty. */
     bool injectEvict(uint64_t rnd);
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     struct Entry

@@ -17,6 +17,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -47,6 +52,9 @@ class PathTracker
     uint64_t totalPushes() const { return pushes_; }
 
     void reset();
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<uint64_t> ring_;

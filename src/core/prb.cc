@@ -1,5 +1,7 @@
 #include "core/prb.hh"
 
+#include "sim/snapshot.hh"
+
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -37,6 +39,79 @@ Prb::clear()
     head_ = 0;
     size_ = 0;
 }
+
+
+void
+PrbEntry::save(sim::SnapshotWriter &w) const
+{
+    w.u64("seq", seq);
+    w.u64("pc", pc);
+    w.beginObject("inst");
+    inst.save(w);
+    w.endObject();
+    w.u64("value", value);
+    w.u64("memAddr", memAddr);
+    w.boolean("taken", taken);
+    w.u64("target", target);
+    w.u64("srcSeq0", srcSeq[0]);
+    w.u64("srcSeq1", srcSeq[1]);
+    w.boolean("vpConfident", vpConfident);
+    w.boolean("apConfident", apConfident);
+}
+
+void
+PrbEntry::restore(sim::SnapshotReader &r)
+{
+    seq = r.u64("seq");
+    pc = r.u64("pc");
+    r.enter("inst");
+    inst.restore(r);
+    r.leave();
+    value = r.u64("value");
+    memAddr = r.u64("memAddr");
+    taken = r.boolean("taken");
+    target = r.u64("target");
+    srcSeq[0] = r.u64("srcSeq0");
+    srcSeq[1] = r.u64("srcSeq1");
+    vpConfident = r.boolean("vpConfident");
+    apConfident = r.boolean("apConfident");
+}
+
+void
+Prb::save(sim::SnapshotWriter &w) const
+{
+    // The full ring verbatim (stale slots included) so the restored
+    // buffer is indistinguishable from the original, not merely
+    // observably equivalent.
+    w.beginArray("ring");
+    for (const PrbEntry &entry : ring_) {
+        w.beginObject();
+        entry.save(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.u64("head", head_);
+    w.u64("size", size_);
+}
+
+void
+Prb::restore(sim::SnapshotReader &r)
+{
+    const size_t n = r.enterArray("ring");
+    r.requireSize("ring", n, ring_.size());
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        ring_[i].restore(r);
+        r.leave();
+    }
+    r.leave();
+    head_ = static_cast<uint32_t>(r.u64("head"));
+    size_ = static_cast<uint32_t>(r.u64("size"));
+}
+
+static_assert(sim::SnapshotterLike<PrbEntry>);
+static_assert(sim::SnapshotterLike<Prb>);
+SSMT_SNAPSHOT_PIN_LAYOUT(PrbEntry, 11 * 8);
 
 } // namespace core
 } // namespace ssmt

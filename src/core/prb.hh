@@ -20,6 +20,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -41,6 +46,9 @@ struct PrbEntry
     bool vpConfident = false;
     /** Address predictor was confident for this pc at retirement. */
     bool apConfident = false;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 };
 
 class Prb
@@ -66,6 +74,9 @@ class Prb
     const PrbEntry &youngest() const { return at(size_ - 1); }
 
     void clear();
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<PrbEntry> ring_;

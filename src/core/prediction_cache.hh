@@ -31,6 +31,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -120,6 +125,9 @@ class PredictionCache
      *  bookkeeping (models a dropped deposit). @return false if the
      *  cache is empty. */
     bool injectDrop(uint64_t rnd);
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::vector<PredEntry> entries_;    ///< set-major: set * assoc_ + way

@@ -1,5 +1,7 @@
 #include "core/spawn_unit.hh"
 
+#include "sim/snapshot.hh"
+
 #include "isa/inst.hh"
 
 namespace ssmt
@@ -51,6 +53,25 @@ PathMatcher::onControlFlow(uint64_t pc, bool taken, uint64_t target)
     }
     return status_;
 }
+
+
+void
+PathMatcher::save(sim::SnapshotWriter &w) const
+{
+    // thread_ is identity, not state: the owner re-binds it to the
+    // restored MicroThread before calling restore().
+    w.u64("matched", index_);
+    w.u64("status", static_cast<uint64_t>(status_));
+}
+
+void
+PathMatcher::restore(sim::SnapshotReader &r)
+{
+    index_ = r.u64("matched");
+    status_ = static_cast<Status>(r.u64("status"));
+}
+
+static_assert(sim::SnapshotterLike<PathMatcher>);
 
 } // namespace core
 } // namespace ssmt

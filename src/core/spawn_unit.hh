@@ -28,6 +28,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace core
 {
 
@@ -59,6 +64,9 @@ class PathMatcher
 
     Status status() const { return status_; }
     size_t matched() const { return index_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     const MicroThread *thread_;

@@ -1,6 +1,9 @@
 #include "cpu/fu_pool.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace ssmt
 {
@@ -34,6 +37,48 @@ FuPool::schedule(uint64_t earliest)
         cycle++;
     }
 }
+
+
+void
+FuPool::save(sim::SnapshotWriter &w) const
+{
+    w.u64("granted", granted_);
+    // Slots reset lazily (schedule() clears a slot whose stamp is not
+    // the probed cycle), so only stamps at/after the capture clock
+    // carry information; everything else restores to "stale".
+    std::vector<uint64_t> slot, cycle, used;
+    for (size_t i = 0; i < slotCycle_.size(); i++) {
+        if (slotCycle_[i] != ~0ull && slotCycle_[i] >= w.clock()) {
+            slot.push_back(i);
+            cycle.push_back(slotCycle_[i]);
+            used.push_back(used_[i]);
+        }
+    }
+    w.u64Array("slot", slot);
+    w.u64Array("slotCycle", cycle);
+    w.u64Array("used", used);
+}
+
+void
+FuPool::restore(sim::SnapshotReader &r)
+{
+    granted_ = r.u64("granted");
+    std::fill(used_.begin(), used_.end(), 0);
+    std::fill(slotCycle_.begin(), slotCycle_.end(), ~0ull);
+    std::vector<uint64_t> slot = r.u64Array("slot");
+    std::vector<uint64_t> cycle = r.u64Array("slotCycle");
+    std::vector<uint64_t> used = r.u64Array("used");
+    r.requireSize("slotCycle", cycle.size(), slot.size());
+    r.requireSize("used", used.size(), slot.size());
+    for (size_t i = 0; i < slot.size(); i++) {
+        r.requireSize("slot index bound", slot[i] < slotCycle_.size(),
+                      true);
+        slotCycle_[slot[i]] = cycle[i];
+        used_[slot[i]] = static_cast<uint16_t>(used[i]);
+    }
+}
+
+static_assert(sim::SnapshotterLike<FuPool>);
 
 } // namespace cpu
 } // namespace ssmt

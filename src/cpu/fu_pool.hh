@@ -13,6 +13,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace cpu
 {
 
@@ -35,6 +40,9 @@ class FuPool
 
     int numFus() const { return numFus_; }
     uint64_t slotsGranted() const { return granted_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     int numFus_;

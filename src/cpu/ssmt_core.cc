@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/golden.hh"
 #include "sim/logging.hh"
 
 namespace ssmt
@@ -16,6 +17,15 @@ uint64_t
 pathAddr(uint64_t pc)
 {
     return pc * isa::kInstBytes;
+}
+
+/** Canonical (sorted) order for serializing an unordered id set. */
+std::vector<uint64_t>
+sortedIds(const std::unordered_set<core::PathId> &set)
+{
+    std::vector<uint64_t> out(set.begin(), set.end());
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 } // namespace
@@ -56,10 +66,7 @@ SsmtCore::SsmtCore(const isa::Program &prog,
     // map is bounded by the window, as is the micro-completion heap.
     inflight_.reserve(static_cast<size_t>(config.windowSize));
     evictScratch_.reserve(16);
-    std::vector<MicroCompletion> heap_storage;
-    heap_storage.reserve(static_cast<size_t>(config.windowSize));
-    microEvents_ = decltype(microEvents_)(
-        std::greater<MicroCompletion>{}, std::move(heap_storage));
+    microEvents_.reserve(static_cast<size_t>(config.windowSize));
 }
 
 bool
@@ -804,7 +811,9 @@ SsmtCore::dispatchMicrothreads(int slots)
                 ctx.regReady[inst.rd] = complete;
 
             event.cycle = complete;
-            microEvents_.push(event);
+            microEvents_.push_back(event);
+            std::push_heap(microEvents_.begin(), microEvents_.end(),
+                           std::greater<MicroCompletion>{});
             ctx.opsInFlight++;
             microOpsInWindow_++;
             ctx.nextOp++;
@@ -818,9 +827,11 @@ void
 SsmtCore::processMicroEvents()
 {
     while (!microEvents_.empty() &&
-           microEvents_.top().cycle <= cycle_) {
-        MicroCompletion event = microEvents_.top();
-        microEvents_.pop();
+           microEvents_.front().cycle <= cycle_) {
+        MicroCompletion event = microEvents_.front();
+        std::pop_heap(microEvents_.begin(), microEvents_.end(),
+                      std::greater<MicroCompletion>{});
+        microEvents_.pop_back();
         microOpsInWindow_--;
         Microcontext &ctx = contexts_[event.ctx];
         SSMT_ASSERT(ctx.opsInFlight > 0,
@@ -1020,6 +1031,355 @@ SsmtCore::checkStructuralInvariants() const
           contexts_.size());
     return out;
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore (ssmt-snapshot-v1)
+// ---------------------------------------------------------------------
+
+void
+SsmtCore::save(sim::SnapshotWriter &w) const
+{
+    SSMT_ASSERT(!finalized_,
+                "cannot snapshot a finalized core (end-of-run "
+                "reclamation already folded into the stats)");
+    w.setClock(cycle_);
+
+    // ---- Pipeline scalars ----
+    w.u64("cycle", cycle_);
+    w.u64("fetchPc", fetchPc_);
+    w.u64("nextSeq", nextSeq_);
+    w.u64("lastRetiredSeq", lastRetiredSeq_);
+    w.u64("fetchResumeCycle", fetchResumeCycle_);
+    w.u64("stallOwnerSeq", stallOwnerSeq_);
+    w.boolean("halted", halted_);
+    w.u64Array("regReady", regReady_.data(), regReady_.size());
+    w.u64Array("lastWriterSeq", lastWriterSeq_.data(),
+               lastWriterSeq_.size());
+
+    w.beginArray("rob");
+    for (const RobEntry &e : rob_) {
+        w.beginObject();
+        w.u64("seq", e.seq);
+        w.u64("pc", e.pc);
+        w.beginObject("inst");
+        e.inst.save(w);
+        w.endObject();
+        w.u64("completeCycle", e.completeCycle);
+        w.u64("value", e.value);
+        w.u64("memAddr", e.memAddr);
+        w.boolean("taken", e.taken);
+        w.u64("target", e.target);
+        w.u64("srcSeq0", e.srcSeq[0]);
+        w.u64("srcSeq1", e.srcSeq[1]);
+        w.boolean("isTerm", e.isTerm);
+        w.endObject();
+    }
+    w.endArray();
+
+    std::vector<uint64_t> seqs;
+    seqs.reserve(inflight_.size());
+    for (const auto &entry : inflight_)
+        seqs.push_back(entry.first);
+    std::sort(seqs.begin(), seqs.end());
+    w.beginArray("inflight");
+    for (uint64_t seq : seqs) {
+        const InFlightBranch &br = inflight_.at(seq);
+        w.beginObject();
+        w.u64("seq", seq);
+        w.u64("pathId", br.pathId);
+        w.u64("resolveCycle", br.resolveCycle);
+        w.boolean("actualTaken", br.actualTaken);
+        w.u64("actualTarget", br.actualTarget);
+        w.boolean("usedTaken", br.usedTaken);
+        w.u64("usedTarget", br.usedTarget);
+        w.boolean("hwCorrect", br.hwCorrect);
+        w.boolean("usedCorrectAtFetch", br.usedCorrectAtFetch);
+        w.boolean("microPredWrongConsumed",
+                  br.microPredWrongConsumed);
+        w.endObject();
+    }
+    w.endArray();
+
+    // ---- Microthread state ----
+    w.beginArray("contexts");
+    for (const Microcontext &ctx : contexts_) {
+        w.beginObject();
+        ctx.save(w);
+        w.endObject();
+    }
+    w.endArray();
+    // The heap's backing array verbatim: push_heap/pop_heap order is
+    // deterministic, so restoring the same array reproduces the same
+    // future pop sequence without re-heapifying.
+    w.beginArray("microEvents");
+    for (const MicroCompletion &e : microEvents_) {
+        w.beginObject();
+        w.u64("cycle", e.cycle);
+        w.u64("ctx", e.ctx);
+        w.boolean("isStPCache", e.isStPCache);
+        w.u64("pathId", e.pathId);
+        w.u64("targetSeq", e.targetSeq);
+        w.boolean("taken", e.taken);
+        w.u64("target", e.target);
+        w.endObject();
+    }
+    w.endArray();
+    w.u64("microOpsInWindow", microOpsInWindow_);
+    w.u64("rrStart", rrStart_);
+
+    // ---- Builder occupancy ----
+    w.boolean("builderBusy", builderBusy_);
+    w.u64("builderReadyCycle", builderReadyCycle_);
+    if (builderBusy_) {
+        w.beginObject("pendingInstall");
+        pendingInstall_.save(w);
+        w.endObject();
+    }
+
+    // ---- Promotion bookkeeping ----
+    w.u64Array("oraclePromoted", sortedIds(oraclePromoted_));
+    w.u64Array("suppressed", sortedIds(suppressed_));
+    std::vector<uint64_t> fbIds;
+    fbIds.reserve(feedback_.size());
+    for (const auto &entry : feedback_)
+        fbIds.push_back(entry.first);
+    std::sort(fbIds.begin(), fbIds.end());
+    w.beginArray("feedback");
+    for (uint64_t id : fbIds) {
+        const RoutineFeedback &fb = feedback_.at(id);
+        w.beginObject();
+        w.u64("id", id);
+        w.u64("spawns", fb.spawns);
+        w.u64("useful", fb.useful);
+        w.endObject();
+    }
+    w.endArray();
+    w.u64("spawnSuppressUntil", spawnSuppressUntil_);
+    w.u64("pendingSpawnDelay", pendingSpawnDelay_);
+
+    // ---- Components (construction order) ----
+    w.beginObject("memory");
+    mem_.save(w);
+    w.endObject();
+    w.beginObject("regs");
+    regs_.save(w);
+    w.endObject();
+    w.beginObject("hierarchy");
+    hier_.save(w);
+    w.endObject();
+    w.beginObject("frontend");
+    fep_.save(w);
+    w.endObject();
+    w.beginObject("vpred");
+    vpred_.save(w);
+    w.endObject();
+    w.beginObject("apred");
+    apred_.save(w);
+    w.endObject();
+    w.beginObject("tracker");
+    tracker_.save(w);
+    w.endObject();
+    w.beginObject("pathCache");
+    pathCache_.save(w);
+    w.endObject();
+    w.beginObject("prb");
+    prb_.save(w);
+    w.endObject();
+    w.beginObject("builder");
+    builder_.save(w);
+    w.endObject();
+    w.beginObject("microRam");
+    microRam_.save(w);
+    w.endObject();
+    w.beginObject("pcache");
+    pcache_.save(w);
+    w.endObject();
+    w.beginObject("fu");
+    fu_.save(w);
+    w.endObject();
+    w.beginObject("l1dPorts");
+    l1dPorts_.save(w);
+    w.endObject();
+    w.beginObject("faults");
+    faults_.save(w);
+    w.endObject();
+    w.u64Array("stats", sim::statsValues(stats_));
+    w.beginObject("sampler");
+    sampler_.save(w);
+    w.endObject();
+}
+
+void
+SsmtCore::restore(sim::SnapshotReader &r)
+{
+    cycle_ = r.u64("cycle");
+    r.setClock(cycle_);
+    fetchPc_ = r.u64("fetchPc");
+    nextSeq_ = r.u64("nextSeq");
+    lastRetiredSeq_ = r.u64("lastRetiredSeq");
+    fetchResumeCycle_ = r.u64("fetchResumeCycle");
+    stallOwnerSeq_ = r.u64("stallOwnerSeq");
+    halted_ = r.boolean("halted");
+    finalized_ = false;
+    r.u64ArrayInto("regReady", regReady_.data(), regReady_.size());
+    r.u64ArrayInto("lastWriterSeq", lastWriterSeq_.data(),
+                   lastWriterSeq_.size());
+
+    rob_.clear();
+    size_t n = r.enterArray("rob");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        RobEntry e;
+        e.seq = r.u64("seq");
+        e.pc = r.u64("pc");
+        r.enter("inst");
+        e.inst.restore(r);
+        r.leave();
+        e.completeCycle = r.u64("completeCycle");
+        e.value = r.u64("value");
+        e.memAddr = r.u64("memAddr");
+        e.taken = r.boolean("taken");
+        e.target = r.u64("target");
+        e.srcSeq[0] = r.u64("srcSeq0");
+        e.srcSeq[1] = r.u64("srcSeq1");
+        e.isTerm = r.boolean("isTerm");
+        rob_.push_back(e);
+        r.leave();
+    }
+    r.leave();
+
+    inflight_.clear();
+    n = r.enterArray("inflight");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        InFlightBranch br;
+        uint64_t seq = r.u64("seq");
+        br.pathId = r.u64("pathId");
+        br.resolveCycle = r.u64("resolveCycle");
+        br.actualTaken = r.boolean("actualTaken");
+        br.actualTarget = r.u64("actualTarget");
+        br.usedTaken = r.boolean("usedTaken");
+        br.usedTarget = r.u64("usedTarget");
+        br.hwCorrect = r.boolean("hwCorrect");
+        br.usedCorrectAtFetch = r.boolean("usedCorrectAtFetch");
+        br.microPredWrongConsumed =
+            r.boolean("microPredWrongConsumed");
+        inflight_.emplace(seq, br);
+        r.leave();
+    }
+    r.leave();
+
+    n = r.enterArray("contexts");
+    r.requireSize("contexts", n, contexts_.size());
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        contexts_[i].restore(r);
+        r.leave();
+    }
+    r.leave();
+
+    microEvents_.clear();
+    n = r.enterArray("microEvents");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        MicroCompletion e;
+        e.cycle = r.u64("cycle");
+        e.ctx = static_cast<uint32_t>(r.u64("ctx"));
+        e.isStPCache = r.boolean("isStPCache");
+        e.pathId = r.u64("pathId");
+        e.targetSeq = r.u64("targetSeq");
+        e.taken = r.boolean("taken");
+        e.target = r.u64("target");
+        microEvents_.push_back(e);
+        r.leave();
+    }
+    r.leave();
+    microOpsInWindow_ = r.u64("microOpsInWindow");
+    rrStart_ = static_cast<uint32_t>(r.u64("rrStart"));
+
+    builderBusy_ = r.boolean("builderBusy");
+    builderReadyCycle_ = r.u64("builderReadyCycle");
+    pendingInstall_ = core::MicroThread();
+    if (builderBusy_) {
+        r.enter("pendingInstall");
+        pendingInstall_.restore(r);
+        r.leave();
+    }
+
+    oraclePromoted_.clear();
+    for (uint64_t id : r.u64Array("oraclePromoted"))
+        oraclePromoted_.insert(id);
+    suppressed_.clear();
+    for (uint64_t id : r.u64Array("suppressed"))
+        suppressed_.insert(id);
+    feedback_.clear();
+    n = r.enterArray("feedback");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        RoutineFeedback fb;
+        uint64_t id = r.u64("id");
+        fb.spawns = r.u64("spawns");
+        fb.useful = r.u64("useful");
+        feedback_.emplace(id, fb);
+        r.leave();
+    }
+    r.leave();
+    spawnSuppressUntil_ = r.u64("spawnSuppressUntil");
+    pendingSpawnDelay_ = r.u64("pendingSpawnDelay");
+
+    r.enter("memory");
+    mem_.restore(r);
+    r.leave();
+    r.enter("regs");
+    regs_.restore(r);
+    r.leave();
+    r.enter("hierarchy");
+    hier_.restore(r);
+    r.leave();
+    r.enter("frontend");
+    fep_.restore(r);
+    r.leave();
+    r.enter("vpred");
+    vpred_.restore(r);
+    r.leave();
+    r.enter("apred");
+    apred_.restore(r);
+    r.leave();
+    r.enter("tracker");
+    tracker_.restore(r);
+    r.leave();
+    r.enter("pathCache");
+    pathCache_.restore(r);
+    r.leave();
+    r.enter("prb");
+    prb_.restore(r);
+    r.leave();
+    r.enter("builder");
+    builder_.restore(r);
+    r.leave();
+    r.enter("microRam");
+    microRam_.restore(r);
+    r.leave();
+    r.enter("pcache");
+    pcache_.restore(r);
+    r.leave();
+    r.enter("fu");
+    fu_.restore(r);
+    r.leave();
+    r.enter("l1dPorts");
+    l1dPorts_.restore(r);
+    r.leave();
+    r.enter("faults");
+    faults_.restore(r);
+    r.leave();
+    sim::statsFromValues(stats_, r.u64Array("stats"));
+    r.enter("sampler");
+    sampler_.restore(r);
+    r.leave();
+}
+
+static_assert(sim::SnapshotterLike<SsmtCore>);
+SSMT_SNAPSHOT_PIN_LAYOUT(SsmtCore, 3952);
 
 } // namespace cpu
 } // namespace ssmt

@@ -21,7 +21,6 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "sim/invariants.hh"
 #include "sim/machine_config.hh"
 #include "sim/metrics.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "vpred/value_predictor.hh"
 
@@ -51,7 +51,7 @@ namespace ssmt
 namespace cpu
 {
 
-class SsmtCore
+class SsmtCore : public sim::Snapshotter
 {
   public:
     SsmtCore(const isa::Program &prog,
@@ -66,8 +66,28 @@ class SsmtCore
     /** True when the program halted and the window drained. */
     bool done() const;
 
+    /** Finalize the stats (idempotent) and return them; the external
+     *  tick-loop equivalent of run()'s epilogue. */
+    const sim::Stats &
+    finish()
+    {
+        finalizeStats();
+        return stats_;
+    }
+
+    /**
+     * Checkpoint/restore the complete mutable machine state
+     * (sim/snapshot.hh). save() requires a non-finalized core;
+     * restore() expects a core freshly constructed from the same
+     * program and a structurally identical config (the mechanism
+     * mode may differ — warmup fan-out).
+     */
+    void save(sim::SnapshotWriter &w) const override;
+    void restore(sim::SnapshotReader &r) override;
+
     const sim::Stats &stats() const { return stats_; }
     uint64_t cycle() const { return cycle_; }
+    uint64_t retiredInsts() const { return stats_.retiredInsts; }
     const isa::RegFile &archRegs() const { return regs_; }
     const isa::MemoryImage &memory() const { return mem_; }
 
@@ -199,8 +219,11 @@ class SsmtCore
 
     // ---- Microthread state ----
     std::vector<Microcontext> contexts_;
-    std::priority_queue<MicroCompletion, std::vector<MicroCompletion>,
-                        std::greater<MicroCompletion>> microEvents_;
+    /** Min-heap of scheduled completions, kept as an explicit
+     *  push_heap/pop_heap vector (identical element order to the old
+     *  std::priority_queue) so a checkpoint can serialize the heap
+     *  array verbatim and restore it bit-for-bit. */
+    std::vector<MicroCompletion> microEvents_;
     uint64_t microOpsInWindow_ = 0;
     uint32_t rrStart_ = 0;
 

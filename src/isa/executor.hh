@@ -20,6 +20,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace isa
 {
 
@@ -43,6 +48,9 @@ class RegFile
     }
 
     bool operator==(const RegFile &other) const = default;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     std::array<uint64_t, kNumRegs> regs_;

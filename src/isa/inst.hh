@@ -20,6 +20,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace isa
 {
 
@@ -78,6 +83,9 @@ struct Inst
     std::string toString() const;
 
     bool operator==(const Inst &other) const = default;
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 };
 
 } // namespace isa

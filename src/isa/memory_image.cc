@@ -1,5 +1,9 @@
 #include "isa/memory_image.hh"
 
+#include <algorithm>
+
+#include "sim/snapshot.hh"
+
 namespace ssmt
 {
 namespace isa
@@ -35,6 +39,44 @@ MemoryImage::store(uint64_t addr, uint64_t value)
     Page *page = pageFor(addr, true);
     page->words[(addr % kPageBytes) / 8] = value;
 }
+
+
+void
+MemoryImage::save(sim::SnapshotWriter &w) const
+{
+    // Pages sorted by page number for canonical bytes.
+    std::vector<uint64_t> index;
+    index.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        index.push_back(kv.first);
+    std::sort(index.begin(), index.end());
+    w.beginArray("pages");
+    for (uint64_t page_num : index) {
+        const Page *page = pages_.find(page_num)->second.get();
+        w.beginObject();
+        w.u64("index", page_num);
+        w.hexWords("words", page->words, kWordsPerPage);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+MemoryImage::restore(sim::SnapshotReader &r)
+{
+    pages_.clear();
+    const size_t n = r.enterArray("pages");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        auto page = std::make_unique<Page>();
+        r.hexWords("words", page->words, kWordsPerPage);
+        pages_.emplace(r.u64("index"), std::move(page));
+        r.leave();
+    }
+    r.leave();
+}
+
+static_assert(sim::SnapshotterLike<MemoryImage>);
 
 } // namespace isa
 } // namespace ssmt

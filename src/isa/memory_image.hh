@@ -18,6 +18,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace isa
 {
 
@@ -40,6 +45,9 @@ class MemoryImage
 
     /** Drop all contents. */
     void clear() { pages_.clear(); }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     struct Page

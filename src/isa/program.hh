@@ -35,6 +35,7 @@ class Program
 
     const std::string &name() const { return name_; }
     const std::vector<Inst> &code() const { return code_; }
+    const std::vector<DataInit> &data() const { return data_; }
     const Inst &inst(uint64_t pc) const { return code_[pc]; }
     uint64_t size() const { return code_.size(); }
     uint64_t entry() const { return 0; }

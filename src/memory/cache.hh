@@ -18,6 +18,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace memory
 {
 
@@ -59,6 +64,9 @@ class Cache
     uint32_t lineBytes() const { return lineBytes_; }
     uint64_t numSets() const { return numSets_; }
     uint32_t assoc() const { return assoc_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     struct Line

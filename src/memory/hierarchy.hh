@@ -21,6 +21,11 @@
 
 namespace ssmt
 {
+namespace sim
+{
+class SnapshotWriter;
+class SnapshotReader;
+}
 namespace memory
 {
 
@@ -60,6 +65,9 @@ class Hierarchy
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }
     const HierarchyConfig &config() const { return config_; }
+
+    void save(sim::SnapshotWriter &w) const;
+    void restore(sim::SnapshotReader &r);
 
   private:
     HierarchyConfig config_;

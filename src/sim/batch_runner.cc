@@ -135,26 +135,46 @@ BatchRunner::run(const std::vector<BatchJob> &batch,
     forEach(batch.size(), [&](size_t i) {
         BatchResult &result = results[i];
         auto start = std::chrono::steady_clock::now();
+        // Checkpoint harvested from a watchdog-expired attempt; a
+        // non-empty value turns the next attempt into a resume.
+        std::string checkpoint;
         for (unsigned attempt = 0; attempt <= policy.maxRetries;
              attempt++) {
             MachineConfig config = batch[i].config;
-            if (policy.reseedFaultsOnRetry &&
+            bool resuming =
+                policy.resumeOnWatchdog && !checkpoint.empty();
+            if (!resuming && policy.reseedFaultsOnRetry &&
                 config.faults.enabled()) {
                 config.faults.seed =
                     retrySeed(batch[i].config.faults.seed, attempt);
             }
+            uint64_t budget = policy.cycleBudget;
+            uint64_t snapshot_at = 0;
+            if (policy.resumeOnWatchdog && policy.cycleBudget > 0) {
+                // Each slice extends the absolute budget; checkpoint
+                // exactly at the boundary so a tripped watchdog
+                // leaves a resumable snapshot in the artifacts.
+                budget = policy.cycleBudget * (attempt + 1);
+                snapshot_at = std::min(config.maxCycles, budget);
+            }
             result.attempts = attempt + 1;
             try {
                 result.stats = runProgramChecked(
-                    batch[i].program, config, batch[i].name,
-                    policy.cycleBudget, &result.faults,
-                    &result.artifacts);
+                    batch[i].program, config, batch[i].name, budget,
+                    &result.faults, &result.artifacts, snapshot_at,
+                    resuming ? &checkpoint : nullptr);
                 result.error.clear();
                 result.errorCode = ErrorCode::None;
                 break;
             } catch (const SimError &err) {
                 result.error = err.what();
                 result.errorCode = err.code();
+                if (policy.resumeOnWatchdog &&
+                    err.code() == ErrorCode::WatchdogExpired &&
+                    !result.artifacts.snapshot.empty()) {
+                    checkpoint =
+                        std::move(result.artifacts.snapshot);
+                }
                 if (!err.recoverable())
                     break;
             } catch (const std::exception &err) {

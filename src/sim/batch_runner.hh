@@ -78,6 +78,19 @@ struct BatchPolicy
      *  (so a fault-induced hang gets a genuinely different fault
      *  schedule the second time around). */
     bool reseedFaultsOnRetry = true;
+    /**
+     * Resume instead of restart after a tripped watchdog: each
+     * attempt checkpoints the machine (ssmt-snapshot-v1) right at
+     * its budget boundary, and the next attempt restores that
+     * checkpoint with the budget extended to cycleBudget*(attempt+1)
+     * — so an underprovisioned budget costs one more slice, not a
+     * rerun from cycle 0. The resumed run's results are
+     * byte-identical to an uninterrupted run with a sufficient
+     * budget. Resuming never reseeds faults (the checkpoint carries
+     * the fault RNG stream, and the seed is part of the config
+     * fingerprint).
+     */
+    bool resumeOnWatchdog = false;
 };
 
 class BatchRunner

@@ -5,6 +5,7 @@
 
 #include "sim/bench_json.hh"
 #include "sim/json_text.hh"
+#include "sim/sim_error.hh"
 
 namespace ssmt
 {
@@ -141,6 +142,36 @@ flattenStats(const Stats &stats)
     for (const BuildField &f : kBuildFields)
         out.emplace_back(f.name, stats.build.*(f.member));
     return out;
+}
+
+std::vector<uint64_t>
+statsValues(const Stats &stats)
+{
+    std::vector<uint64_t> out;
+    out.reserve(kNumStatsFields + kNumBuildFields);
+    for (const StatsField &f : kStatsFields)
+        out.push_back(stats.*(f.member));
+    for (const BuildField &f : kBuildFields)
+        out.push_back(stats.build.*(f.member));
+    return out;
+}
+
+void
+statsFromValues(Stats &out, const std::vector<uint64_t> &values)
+{
+    if (values.size() != kNumStatsFields + kNumBuildFields) {
+        throw SimError(ErrorCode::ParseError, "golden",
+                       "stats value array has " +
+                           std::to_string(values.size()) +
+                           " entries, expected " +
+                           std::to_string(kNumStatsFields +
+                                          kNumBuildFields));
+    }
+    size_t i = 0;
+    for (const StatsField &f : kStatsFields)
+        out.*(f.member) = values[i++];
+    for (const BuildField &f : kBuildFields)
+        out.build.*(f.member) = values[i++];
 }
 
 std::string

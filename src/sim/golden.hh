@@ -56,6 +56,15 @@ MachineConfig goldenMachineConfig();
 std::vector<std::pair<std::string, uint64_t>>
 flattenStats(const Stats &stats);
 
+/** Values-only form of flattenStats (same canonical order), for the
+ *  compact encodings (ssmt-snapshot-v1) that pair it with
+ *  statsFromValues instead of repeating the names. */
+std::vector<uint64_t> statsValues(const Stats &stats);
+
+/** Inverse of statsValues. Throws SimError(ParseError) when
+ *  @p values does not have exactly one value per Stats field. */
+void statsFromValues(Stats &out, const std::vector<uint64_t> &values);
+
 /** One golden snapshot. */
 struct GoldenRun
 {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/golden.hh"
+#include "sim/snapshot.hh"
 
 namespace ssmt
 {
@@ -43,6 +44,31 @@ OccupancyHistogram::add(uint64_t value)
     sum_ += value;
     samples_++;
 }
+
+void
+OccupancyHistogram::save(SnapshotWriter &w) const
+{
+    w.u64Array("buckets", buckets_);
+    w.u64("samples", samples_);
+    w.u64("min", min_);
+    w.u64("max", max_);
+    w.u64("sum", sum_);
+}
+
+void
+OccupancyHistogram::restore(SnapshotReader &r)
+{
+    std::vector<uint64_t> buckets = r.u64Array("buckets");
+    r.requireSize("histogram buckets", buckets.size(),
+                  buckets_.size());
+    buckets_ = std::move(buckets);
+    samples_ = r.u64("samples");
+    min_ = r.u64("min");
+    max_ = r.u64("max");
+    sum_ = r.u64("sum");
+}
+
+static_assert(SnapshotterLike<OccupancyHistogram>);
 
 // ---------------------------------------------------------------------
 // IntervalSampler
@@ -111,6 +137,65 @@ IntervalSampler::finalize(uint64_t cycle, const Stats &stats,
     series_.samples.push_back({cycle, stats, gauges});
     feedHistograms(series_.histograms, gauges);
 }
+
+void
+IntervalSampler::save(SnapshotWriter &w) const
+{
+    w.beginArray("samples");
+    for (const Sample &s : series_.samples) {
+        w.beginObject();
+        w.u64("cycle", s.cycle);
+        w.u64Array("counters", statsValues(s.stats));
+        const uint64_t gauges[5] = {
+            s.gauges.prbEntries, s.gauges.liveMicrocontexts,
+            s.gauges.pcacheValidEntries, s.gauges.microRamRoutines,
+            s.gauges.windowFill};
+        w.u64Array("gauges", gauges, 5);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("histograms");
+    for (const OccupancyHistogram &h : series_.histograms) {
+        w.beginObject();
+        h.save(w);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+IntervalSampler::restore(SnapshotReader &r)
+{
+    series_.samples.clear();
+    size_t n = r.enterArray("samples");
+    for (size_t i = 0; i < n; i++) {
+        r.enterItem(i);
+        Sample s;
+        s.cycle = r.u64("cycle");
+        statsFromValues(s.stats, r.u64Array("counters"));
+        uint64_t gauges[5];
+        r.u64ArrayInto("gauges", gauges, 5);
+        s.gauges = {gauges[0], gauges[1], gauges[2], gauges[3],
+                    gauges[4]};
+        series_.samples.push_back(std::move(s));
+        r.leave();
+    }
+    r.leave();
+    // The histograms themselves are rebuilt by the constructor from
+    // the machine config; only their accumulated counts travel.
+    size_t h = r.enterArray("histograms");
+    r.requireSize("histograms", h, series_.histograms.size());
+    for (size_t i = 0; i < h; i++) {
+        r.enterItem(i);
+        series_.histograms[i].restore(r);
+        r.leave();
+    }
+    r.leave();
+}
+
+static_assert(SnapshotterLike<IntervalSampler>);
+SSMT_SNAPSHOT_PIN_LAYOUT(OccupancyGauges, 5 * 8);
+SSMT_SNAPSHOT_PIN_LAYOUT(Sample, 57 * 8);
 
 // ---------------------------------------------------------------------
 // Serialization (ssmt-series-v1)

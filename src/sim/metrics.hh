@@ -36,6 +36,9 @@ namespace ssmt
 namespace sim
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 extern const char kSeriesSchema[];  ///< "ssmt-series-v1"
 
 /** Point-in-time fill levels of the core's bounded structures. */
@@ -88,6 +91,11 @@ class OccupancyHistogram
                               static_cast<double>(samples_)
                         : 0.0;
     }
+
+    /** Checkpoint the accumulated counts. Name, capacity and bucket
+     *  width are construction-time geometry and not serialized. */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     std::string name_;
@@ -148,6 +156,12 @@ class IntervalSampler
                   const OccupancyGauges &gauges);
 
     const MetricsSeries &series() const { return series_; }
+
+    /** Checkpoint the captured samples and histogram counts. The
+     *  interval and histogram geometry come from construction and
+     *  must match (restore() rejects a histogram-count mismatch). */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     uint64_t interval_;

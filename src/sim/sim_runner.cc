@@ -7,6 +7,7 @@
 #include "sim/invariants.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
 
 namespace ssmt
 {
@@ -35,7 +36,9 @@ runProgram(const isa::Program &prog, const MachineConfig &config)
 Stats
 runProgramChecked(const isa::Program &prog, const MachineConfig &config,
                   const std::string &label, uint64_t cycle_budget,
-                  FaultStats *fault_stats, RunArtifacts *artifacts)
+                  FaultStats *fault_stats, RunArtifacts *artifacts,
+                  uint64_t snapshot_at_cycle,
+                  const std::string *resume_from)
 {
     config.validateOrThrow();
 
@@ -43,8 +46,28 @@ runProgramChecked(const isa::Program &prog, const MachineConfig &config,
     if (cycle_budget > 0)
         cfg.maxCycles = std::min(cfg.maxCycles, cycle_budget);
 
+    if (artifacts)
+        *artifacts = RunArtifacts{};
+
     cpu::SsmtCore core(prog, cfg);
-    Stats stats = core.run();
+    if (resume_from && !resume_from->empty())
+        restoreMachineSnapshot(core, prog, cfg, *resume_from);
+
+    // The external equivalent of core.run(), so the checkpoint can be
+    // captured mid-run — after the target tick completes, before the
+    // end-of-run finalization folds Prediction Cache reclamation into
+    // the counters.
+    while (!core.done() && core.cycle() < cfg.maxCycles &&
+           core.retiredInsts() < cfg.maxInsts) {
+        core.tick();
+        if (artifacts && snapshot_at_cycle > 0 &&
+            core.cycle() == snapshot_at_cycle) {
+            artifacts->snapshot =
+                writeMachineSnapshot(core, prog, cfg, label);
+            artifacts->snapshotCycle = core.cycle();
+        }
+    }
+    Stats stats = core.finish();
     if (fault_stats)
         *fault_stats = core.faultStats();
     if (artifacts) {

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Snapshot round-trips for the mechanism layer: path tracking and
+ * difficulty training, the Prediction Cache, the PRB, MicroRAM
+ * routines, the builder's accumulated stats, the path matcher and a
+ * live microcontext.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/microram.hh"
+#include "core/microthread.hh"
+#include "core/path_cache.hh"
+#include "core/path_tracker.hh"
+#include "core/prb.hh"
+#include "core/prediction_cache.hh"
+#include "core/spawn_unit.hh"
+#include "core/uthread_builder.hh"
+#include "cpu/microcontext.hh"
+#include "sim/snapshot.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+template <typename T>
+std::string
+snapText(const T &t, uint64_t clock = 0)
+{
+    sim::SnapshotWriter w;
+    w.setClock(clock);
+    w.beginObject();
+    t.save(w);
+    w.endObject();
+    return w.text();
+}
+
+template <typename T>
+void
+snapRestore(T &t, const std::string &text, uint64_t clock = 0)
+{
+    sim::SnapshotReader r(text);
+    r.setClock(clock);
+    t.restore(r);
+}
+
+template <typename T>
+std::string
+roundTrip(const T &saved, T &fresh, uint64_t clock = 0)
+{
+    std::string text = snapText(saved, clock);
+    snapRestore(fresh, text, clock);
+    EXPECT_EQ(snapText(fresh, clock), text);
+    return text;
+}
+
+core::MicroThread
+makeThread(core::PathId id)
+{
+    core::MicroThread thread;
+    thread.pathId = id;
+    thread.pathN = 3;
+    thread.branchPc = 40;
+    thread.spawnPc = 10;
+    thread.seqDelta = 30;
+    thread.prefix = {{4, 8}, {8, 10}};
+    thread.expected = {{12, 20}, {24, 32}};
+    isa::Inst addi;
+    addi.op = isa::Opcode::Addi;
+    addi.rd = 5;
+    addi.rs1 = 5;
+    addi.imm = 1;
+    core::MicroOp op;
+    op.inst = addi;
+    op.origPc = 12;
+    op.branchOp = isa::Opcode::Beq;
+    op.ahead = 2;
+    op.prbPos = 7;
+    op.vpConf = true;
+    thread.ops = {op, op};
+    thread.liveIns = {5, 6};
+    thread.longestChain = 2;
+    thread.speculatesOnMemory = true;
+    return thread;
+}
+
+TEST(SnapshotRoundTrip, PathTracker)
+{
+    core::PathTracker a(8);
+    for (uint64_t i = 0; i < 21; i++)   // wraps the ring twice
+        a.push(100 + i * 4);
+    core::PathTracker b(8);
+    roundTrip(a, b);
+    EXPECT_EQ(b.totalPushes(), a.totalPushes());
+    EXPECT_EQ(b.size(), a.size());
+    for (int n = 1; n <= 8; n++)
+        EXPECT_EQ(b.pathId(n), a.pathId(n)) << "n=" << n;
+}
+
+TEST(SnapshotRoundTrip, PathCacheTrainingState)
+{
+    core::PathCache a(64, 4, 8, 0.10);
+    for (uint64_t i = 0; i < 400; i++)
+        a.update(i % 23 + 1, (i % 6) == 0);
+    a.setPromoted(1, true);
+    core::PathCache b(64, 4, 8, 0.10);
+    roundTrip(a, b);
+    EXPECT_EQ(b.occupancy(), a.occupancy());
+    EXPECT_EQ(b.difficultCount(), a.difficultCount());
+    EXPECT_EQ(b.updates(), a.updates());
+    EXPECT_EQ(b.evictions(), a.evictions());
+    for (core::PathId id = 1; id <= 23; id++) {
+        EXPECT_EQ(b.isDifficult(id), a.isDifficult(id));
+        EXPECT_EQ(b.isPromoted(id), a.isPromoted(id));
+    }
+}
+
+TEST(SnapshotRoundTrip, PredictionCache)
+{
+    core::PredictionCache a(32);
+    for (uint64_t i = 0; i < 60; i++)
+        a.write(7, 100 + i, (i & 1) != 0, 500 + i, /*cycle=*/i);
+    a.lookup(7, 140);
+    a.markConsumed(7, 140);
+    a.reclaimOlderThan(110);
+    core::PredictionCache b(32);
+    roundTrip(a, b);
+    EXPECT_EQ(b.writes(), a.writes());
+    EXPECT_EQ(b.evictions(), a.evictions());
+    EXPECT_EQ(b.reclaimedUnconsumed(), a.reclaimedUnconsumed());
+    EXPECT_EQ(b.occupancy(), a.occupancy());
+    const core::PredEntry *ea = a.lookup(7, 150);
+    const core::PredEntry *eb = b.lookup(7, 150);
+    ASSERT_EQ(ea != nullptr, eb != nullptr);
+    if (ea) {
+        EXPECT_EQ(eb->taken, ea->taken);
+        EXPECT_EQ(eb->target, ea->target);
+        EXPECT_EQ(eb->writeCycle, ea->writeCycle);
+    }
+}
+
+TEST(SnapshotRoundTrip, PrbRing)
+{
+    core::Prb a(8);
+    for (uint64_t i = 0; i < 13; i++) {     // wraps
+        core::PrbEntry e;
+        e.seq = i;
+        e.pc = 4 * i;
+        e.inst.op = isa::Opcode::Add;
+        e.inst.rd = 1;
+        e.inst.rs1 = 2;
+        e.inst.rs2 = 3;
+        e.value = 100 + i;
+        e.srcSeq[0] = i ? i - 1 : 0;
+        e.vpConfident = (i & 1) != 0;
+        a.push(e);
+    }
+    core::Prb b(8);
+    roundTrip(a, b);
+    EXPECT_EQ(b.size(), a.size());
+    for (uint32_t p = 0; p < a.size(); p++) {
+        EXPECT_EQ(b.at(p).seq, a.at(p).seq);
+        EXPECT_EQ(b.at(p).inst, a.at(p).inst);
+        EXPECT_EQ(b.at(p).value, a.at(p).value);
+    }
+}
+
+TEST(SnapshotRoundTrip, MicroThreadAndMicroRam)
+{
+    core::MicroThread ta = makeThread(42);
+    core::MicroThread tb;
+    roundTrip(ta, tb);
+    EXPECT_EQ(tb.pathId, ta.pathId);
+    EXPECT_EQ(tb.expected, ta.expected);
+    EXPECT_EQ(tb.ops.size(), ta.ops.size());
+    EXPECT_EQ(tb.ops[0].inst, ta.ops[0].inst);
+
+    core::MicroRam ra(16);
+    ra.insert(makeThread(42));
+    ra.insert(makeThread(7));
+    ra.remove(7);
+    ra.insert(makeThread(9));
+    core::MicroRam rb(16);
+    roundTrip(ra, rb);
+    EXPECT_EQ(rb.size(), ra.size());
+    EXPECT_EQ(rb.insertions(), ra.insertions());
+    EXPECT_EQ(rb.removals(), ra.removals());
+    ASSERT_NE(rb.find(42), nullptr);
+    EXPECT_EQ(rb.find(42)->seqDelta, uint64_t{30});
+    EXPECT_EQ(rb.routinesAt(10).size(), ra.routinesAt(10).size());
+}
+
+TEST(SnapshotRoundTrip, BuildStats)
+{
+    core::BuildStats a;
+    a.requests = 10;
+    a.built = 7;
+    a.failScopeNotInPrb = 2;
+    a.totalOps = 40;
+    a.totalChain = 12;
+    a.prunedSubtrees = 3;
+    core::BuildStats b;
+    roundTrip(a, b);
+    EXPECT_EQ(b.built, a.built);
+    EXPECT_DOUBLE_EQ(b.avgRoutineSize(), a.avgRoutineSize());
+}
+
+TEST(SnapshotRoundTrip, PathMatcherProgress)
+{
+    core::MicroThread thread = makeThread(42);
+    core::PathMatcher a(&thread);
+    a.onControlFlow(12, true, 20);      // matches expected[0]
+    ASSERT_EQ(a.status(), core::PathMatcher::Status::Live);
+
+    core::PathMatcher b(&thread);
+    roundTrip(a, b);
+    EXPECT_EQ(b.matched(), a.matched());
+    EXPECT_EQ(b.status(), a.status());
+    // Both matchers complete on the same remaining branch.
+    EXPECT_EQ(b.onControlFlow(24, true, 32),
+              a.onControlFlow(24, true, 32));
+}
+
+TEST(SnapshotRoundTrip, MicrocontextRebindsMatcher)
+{
+    cpu::Microcontext a;
+    a.active = true;
+    a.thread =
+        std::make_shared<const core::MicroThread>(makeThread(42));
+    a.matcher = core::PathMatcher(a.thread.get());
+    a.matcher.onControlFlow(12, true, 20);
+    a.regs.write(5, 77);
+    a.regReady[5] = 3;
+    a.nextOp = 1;
+    a.opsInFlight = 1;
+    a.predictedValues = {11, 22};
+    a.spawnSeq = 100;
+    a.targetSeq = 130;
+    a.spawnCycle = 50;
+    a.dispatchEligibleCycle = 52;
+
+    cpu::Microcontext b;
+    roundTrip(a, b);
+    EXPECT_TRUE(b.active);
+    ASSERT_NE(b.thread, nullptr);
+    EXPECT_EQ(b.thread->pathId, uint64_t{42});
+    EXPECT_EQ(b.matcher.matched(), a.matcher.matched());
+    EXPECT_EQ(b.regs.read(5), uint64_t{77});
+    EXPECT_EQ(b.nextOp, a.nextOp);
+    EXPECT_FALSE(b.drained());
+    // The restored matcher must be bound to the restored thread, not
+    // dangling: advancing it must work and agree with the original.
+    EXPECT_EQ(b.matcher.onControlFlow(24, true, 32),
+              a.matcher.onControlFlow(24, true, 32));
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Whole-machine snapshot/resume tests: the keystone byte-identity
+ * property, snapshot determinism, warmup fan-out across modes,
+ * rejection of mismatched programs/configs/documents, and resumable
+ * batches (BatchPolicy::resumeOnWatchdog).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.hh"
+#include "sim/golden.hh"
+#include "sim/metrics.hh"
+#include "sim/sim_error.hh"
+#include "sim/sim_runner.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+workloads::WorkloadInfo
+findWorkload(const std::string &name)
+{
+    for (const auto &info : workloads::allWorkloads())
+        if (info.name == name)
+            return info;
+    ADD_FAILURE() << "workload " << name << " not registered";
+    return workloads::allWorkloads().front();
+}
+
+sim::MachineConfig
+testConfig(sim::Mode mode, uint64_t sample_interval = 0)
+{
+    sim::MachineConfig cfg = sim::goldenMachineConfig();
+    cfg.mode = mode;
+    cfg.sampleInterval = sample_interval;
+    return cfg;
+}
+
+std::string
+goldenText(const std::string &name, const sim::Stats &stats)
+{
+    return sim::goldenJson({name, sim::kGoldenConfigName, stats});
+}
+
+TEST(SnapshotResume, ResumeIsByteIdenticalToStraightThrough)
+{
+    isa::Program prog = findWorkload("comp").make({});
+    sim::MachineConfig cfg =
+        testConfig(sim::Mode::Microthread, /*sample_interval=*/500);
+
+    sim::RunArtifacts straightArt;
+    sim::Stats straight = sim::runProgramChecked(
+        prog, cfg, "comp", 0, nullptr, &straightArt,
+        /*snapshot_at_cycle=*/5000);
+    ASSERT_FALSE(straightArt.snapshot.empty());
+    ASSERT_EQ(straightArt.snapshotCycle, 5000u);
+    EXPECT_EQ(sim::snapshotCycle(straightArt.snapshot), 5000u);
+    EXPECT_EQ(sim::snapshotLabel(straightArt.snapshot), "comp");
+
+    sim::RunArtifacts resumedArt;
+    sim::Stats resumed = sim::runProgramChecked(
+        prog, cfg, "comp", 0, nullptr, &resumedArt, 0,
+        &straightArt.snapshot);
+
+    EXPECT_EQ(goldenText("comp", resumed), goldenText("comp", straight));
+    EXPECT_EQ(sim::seriesJson(resumedArt.series),
+              sim::seriesJson(straightArt.series));
+}
+
+TEST(SnapshotResume, SnapshotsAreDeterministicAndResaveStable)
+{
+    isa::Program prog = findWorkload("comp").make({});
+    sim::MachineConfig cfg = testConfig(sim::Mode::Microthread);
+
+    // Two independent straight runs checkpoint byte-identically.
+    sim::RunArtifacts a, b;
+    sim::runProgramChecked(prog, cfg, "comp", 0, nullptr, &a, 5000);
+    sim::runProgramChecked(prog, cfg, "comp", 0, nullptr, &b, 5000);
+    ASSERT_FALSE(a.snapshot.empty());
+    EXPECT_EQ(a.snapshot, b.snapshot);
+
+    // Restore-then-recheckpoint at a later cycle matches the
+    // straight run's checkpoint at that cycle: restore loses nothing.
+    sim::RunArtifacts straightLater, resumedLater;
+    sim::runProgramChecked(prog, cfg, "comp", 0, nullptr,
+                           &straightLater, 7000);
+    sim::runProgramChecked(prog, cfg, "comp", 0, nullptr,
+                           &resumedLater, 7000, &a.snapshot);
+    ASSERT_FALSE(straightLater.snapshot.empty());
+    EXPECT_EQ(resumedLater.snapshot, straightLater.snapshot);
+}
+
+TEST(SnapshotResume, WarmupSnapshotFansOutAcrossModes)
+{
+    isa::Program prog = findWorkload("comp").make({});
+    sim::MachineConfig warmup = testConfig(sim::Mode::Baseline);
+
+    sim::RunArtifacts art;
+    sim::Stats baseline = sim::runProgramChecked(
+        prog, warmup, "comp", 0, nullptr, &art, 5000);
+    ASSERT_FALSE(art.snapshot.empty());
+
+    const sim::Mode fan[] = {sim::Mode::OracleDifficultPath,
+                             sim::Mode::Microthread,
+                             sim::Mode::OracleAllBranches};
+    for (sim::Mode mode : fan) {
+        sim::MachineConfig cfg = testConfig(mode);
+        sim::Stats stats = sim::runProgramChecked(
+            prog, cfg, "comp/fanout", 0, nullptr, nullptr, 0,
+            &art.snapshot);
+        // The machine fetches only correct-path instructions, so the
+        // committed stream is mode-invariant even across a restore.
+        EXPECT_EQ(stats.retiredInsts, baseline.retiredInsts)
+            << sim::modeName(mode);
+        EXPECT_EQ(stats.condBranches, baseline.condBranches)
+            << sim::modeName(mode);
+    }
+}
+
+TEST(SnapshotResume, RejectsWrongProgram)
+{
+    isa::Program comp = findWorkload("comp").make({});
+    isa::Program go = findWorkload("go").make({});
+    sim::MachineConfig cfg = testConfig(sim::Mode::Microthread);
+
+    sim::RunArtifacts art;
+    sim::runProgramChecked(comp, cfg, "comp", 0, nullptr, &art, 5000);
+    ASSERT_FALSE(art.snapshot.empty());
+
+    try {
+        sim::runProgramChecked(go, cfg, "go", 0, nullptr, nullptr, 0,
+                               &art.snapshot);
+        FAIL() << "expected SimError(ConfigInvalid)";
+    } catch (const sim::SimError &err) {
+        EXPECT_EQ(err.code(), sim::ErrorCode::ConfigInvalid);
+    }
+}
+
+TEST(SnapshotResume, RejectsStructurallyDifferentConfig)
+{
+    isa::Program prog = findWorkload("comp").make({});
+    sim::MachineConfig cfg = testConfig(sim::Mode::Microthread);
+
+    sim::RunArtifacts art;
+    sim::runProgramChecked(prog, cfg, "comp", 0, nullptr, &art, 5000);
+    ASSERT_FALSE(art.snapshot.empty());
+
+    sim::MachineConfig narrower = cfg;
+    narrower.windowSize /= 2;
+    try {
+        sim::runProgramChecked(prog, narrower, "comp", 0, nullptr,
+                               nullptr, 0, &art.snapshot);
+        FAIL() << "expected SimError(ConfigInvalid)";
+    } catch (const sim::SimError &err) {
+        EXPECT_EQ(err.code(), sim::ErrorCode::ConfigInvalid);
+    }
+}
+
+TEST(SnapshotResume, RejectsMalformedDocument)
+{
+    isa::Program prog = findWorkload("comp").make({});
+    sim::MachineConfig cfg = testConfig(sim::Mode::Microthread);
+    std::string garbage = "{\"schema\": \"ssmt-snapshot-v1\", ";
+    try {
+        sim::runProgramChecked(prog, cfg, "comp", 0, nullptr, nullptr,
+                               0, &garbage);
+        FAIL() << "expected SimError(ParseError)";
+    } catch (const sim::SimError &err) {
+        EXPECT_EQ(err.code(), sim::ErrorCode::ParseError);
+    }
+}
+
+TEST(SnapshotResume, BatchResumesAcrossWatchdogSlices)
+{
+    workloads::WorkloadInfo info = findWorkload("comp");
+    sim::MachineConfig cfg = testConfig(sim::Mode::Microthread);
+
+    sim::Stats straight =
+        sim::runProgramChecked(info.make({}), cfg, "comp");
+    ASSERT_GT(straight.cycles, 30000u);     // the budget must trip
+
+    sim::BatchPolicy policy;
+    policy.cycleBudget = 30000;
+    policy.maxRetries = 8;
+    policy.resumeOnWatchdog = true;
+
+    std::vector<sim::BatchJob> batch = {
+        {"comp", info.make({}), cfg}};
+    std::vector<sim::BatchResult> results =
+        sim::BatchRunner(1).run(batch, policy);
+    ASSERT_TRUE(results[0].ok()) << results[0].error;
+    EXPECT_GT(results[0].attempts, 1u);
+    EXPECT_EQ(goldenText("comp", results[0].stats),
+              goldenText("comp", straight));
+}
+
+TEST(SnapshotResume, ResumedBatchesAgreeAcrossJobCounts)
+{
+    const char *names[] = {"comp", "go", "li", "parser_2k"};
+    sim::MachineConfig cfg =
+        testConfig(sim::Mode::Microthread, /*sample_interval=*/1000);
+
+    std::vector<sim::BatchJob> batch;
+    for (const char *name : names)
+        batch.push_back({name, findWorkload(name).make({}), cfg});
+
+    sim::BatchPolicy policy;
+    policy.cycleBudget = 100000;
+    policy.maxRetries = 10;
+    policy.resumeOnWatchdog = true;
+
+    std::vector<sim::BatchResult> serial =
+        sim::BatchRunner(1).run(batch, policy);
+    std::vector<sim::BatchResult> parallel =
+        sim::BatchRunner(4).run(batch, policy);
+    for (size_t i = 0; i < batch.size(); i++) {
+        ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+        EXPECT_EQ(goldenText(batch[i].name, parallel[i].stats),
+                  goldenText(batch[i].name, serial[i].stats));
+        EXPECT_EQ(sim::seriesJson(parallel[i].artifacts.series),
+                  sim::seriesJson(serial[i].artifacts.series));
+        EXPECT_EQ(parallel[i].attempts, serial[i].attempts);
+    }
+}
+
+} // namespace

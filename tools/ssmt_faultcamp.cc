@@ -27,11 +27,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "sim/batch_runner.hh"
 #include "sim/faultinject.hh"
 #include "sim/golden.hh"
@@ -58,112 +57,63 @@ struct Options
     std::string outPath;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int status)
+std::string
+usageText()
 {
-    std::fprintf(
-        stderr,
-        "usage: %s [--workloads a,b,...|all] [--site S|all]\n"
+    std::string text =
+        "usage: ssmt_faultcamp [--workloads a,b,...|all]"
+        " [--site S|all]\n"
         "          [--count N] [--seed S] [--period P] [--jobs N]\n"
         "          [--budget CYCLES] [--golden-dir D] [--out FILE]\n"
-        "fault sites:",
-        argv0);
+        "          [--list-workloads]\n"
+        "fault sites:";
     for (sim::FaultSite site : sim::allFaultSites())
-        std::fprintf(stderr, " %s", sim::faultSiteName(site));
-    std::fprintf(stderr, "\n");
-    std::exit(status);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &arg)
-{
-    std::vector<std::string> out;
-    size_t pos = 0;
-    while (pos < arg.size()) {
-        size_t comma = arg.find(',', pos);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > pos)
-            out.push_back(arg.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
+        text += std::string(" ") + sim::faultSiteName(site);
+    text += "\n";
+    return text;
 }
 
 Options
 parseOptions(int argc, char **argv)
 {
+    cli::ArgParser args(argc, argv, usageText(),
+                        {{"--workloads", nullptr, true},
+                         {"--site", nullptr, true},
+                         {"--count", nullptr, true},
+                         {"--seed", nullptr, true},
+                         {"--period", nullptr, true},
+                         {"--budget", nullptr, true},
+                         {"--jobs", nullptr, true},
+                         {"--golden-dir", nullptr, true},
+                         {"--out", nullptr, true}});
+    if (!args.positionals().empty())
+        args.fail("unexpected argument '" + args.positionals()[0] +
+                  "'");
     Options opt;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n",
-                             argv[0], arg.c_str());
-                usage(argv[0], 2);
-            }
-            return argv[++i];
-        };
-        auto number = [&]() -> uint64_t {
-            std::string text = value();
-            char *end = nullptr;
-            unsigned long long parsed =
-                std::strtoull(text.c_str(), &end, 10);
-            if (!end || *end != '\0') {
-                std::fprintf(stderr, "%s: %s needs a number\n",
-                             argv[0], arg.c_str());
-                usage(argv[0], 2);
-            }
-            return parsed;
-        };
-        if (arg == "--workloads") {
-            std::string text = value();
-            if (text == "all") {
-                opt.workloads.clear();
-                for (const auto &info : workloads::allWorkloads())
-                    opt.workloads.push_back(info.name);
-            } else {
-                opt.workloads = splitCommas(text);
-            }
-        } else if (arg == "--site") {
-            std::string text = value();
-            if (text == "all") {
-                opt.sites.clear();
-            } else {
-                for (const std::string &name : splitCommas(text)) {
-                    sim::FaultSite site;
-                    if (!sim::parseFaultSite(name, &site) ||
-                        site == sim::FaultSite::None) {
-                        std::fprintf(stderr,
-                                     "%s: unknown fault site '%s'\n",
-                                     argv[0], name.c_str());
-                        usage(argv[0], 2);
-                    }
-                    opt.sites.push_back(site);
-                }
-            }
-        } else if (arg == "--count") {
-            opt.count = number();
-        } else if (arg == "--seed") {
-            opt.seed = number();
-        } else if (arg == "--period") {
-            opt.period = number();
-        } else if (arg == "--budget") {
-            opt.budget = number();
-        } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(number());
-        } else if (arg == "--golden-dir") {
-            opt.goldenDir = value();
-        } else if (arg == "--out") {
-            opt.outPath = value();
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
+    if (args.has("--workloads"))
+        opt.workloads =
+            cli::expandWorkloadList(args.str("--workloads"));
+    if (args.has("--site")) {
+        std::string text = args.str("--site");
+        if (text == "all") {
+            opt.sites.clear();
         } else {
-            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
-                         arg.c_str());
-            usage(argv[0], 2);
+            for (const std::string &name : cli::splitCommas(text)) {
+                sim::FaultSite site;
+                if (!sim::parseFaultSite(name, &site) ||
+                    site == sim::FaultSite::None)
+                    args.fail("unknown fault site '" + name + "'");
+                opt.sites.push_back(site);
+            }
         }
     }
+    opt.count = args.u64("--count", opt.count);
+    opt.seed = args.u64("--seed", opt.seed);
+    opt.period = args.u64("--period", opt.period);
+    opt.budget = args.u64("--budget", opt.budget);
+    opt.jobs = static_cast<unsigned>(args.u64("--jobs", opt.jobs));
+    opt.goldenDir = args.str("--golden-dir");
+    opt.outPath = args.str("--out");
     if (opt.sites.empty())
         opt.sites = sim::allFaultSites();
     if (opt.seed == 0)
@@ -181,21 +131,6 @@ mix64(uint64_t x)
     x *= 0x94d049bb133111ebull;
     x ^= x >> 31;
     return x ? x : 1;
-}
-
-std::string
-readFile(const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "r");
-    if (!file)
-        return "";
-    std::string text;
-    char buf[4096];
-    size_t got;
-    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
-        text.append(buf, got);
-    std::fclose(file);
-    return text;
 }
 
 struct Cell
@@ -271,7 +206,7 @@ runCampaign(const Options &opt)
             continue;
         std::string path = opt.goldenDir + "/" +
                            sim::goldenFileName(suite[w].name);
-        std::string text = readFile(path);
+        std::string text = cli::readFile(path);
         sim::GoldenRun want;
         std::string err;
         if (text.empty() || !sim::parseGolden(text, want, &err)) {

@@ -19,11 +19,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "sim/golden.hh"
 
 namespace
@@ -31,95 +30,51 @@ namespace
 
 using namespace ssmt;
 
-std::string
-readFile(const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "r");
-    if (!file)
-        return "";
-    std::string text;
-    char buf[4096];
-    size_t got;
-    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
-        text.append(buf, got);
-    std::fclose(file);
-    return text;
-}
-
-[[noreturn]] void
-usage(const char *argv0, int status)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--allow c1,c2,...] [--allow-file F]"
-                 " [--rel-tol R] golden.json candidate.json\n",
-                 argv0);
-    std::exit(status);
-}
+const char kUsage[] =
+    "usage: ssmt_statsdiff [--allow c1,c2,...] [--allow-file F]"
+    " [--rel-tol R]\n"
+    "                      golden.json candidate.json\n";
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    sim::DriftAllowlist allowlist;
-    double rel_tol = 0.0;
-    std::vector<std::string> files;
+    cli::ArgParser args(argc, argv, kUsage,
+                        {{"--allow", nullptr, true, true},
+                         {"--allow-file", nullptr, true},
+                         {"--rel-tol", nullptr, true}});
 
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n",
-                             argv[0], arg.c_str());
-                usage(argv[0], 2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--allow") {
-            std::string list = value();
-            size_t pos = 0;
-            while (pos < list.size()) {
-                size_t comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                if (comma > pos)
-                    allowlist.entries.push_back(
-                        list.substr(pos, comma - pos));
-                pos = comma + 1;
-            }
-        } else if (arg == "--allow-file") {
-            std::string path = value();
-            bool existed = false;
-            sim::DriftAllowlist extra =
-                sim::DriftAllowlist::load(path, &existed);
-            if (!existed) {
-                std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
-                             path.c_str());
-                return 2;
-            }
-            allowlist.entries.insert(allowlist.entries.end(),
-                                     extra.entries.begin(),
-                                     extra.entries.end());
-        } else if (arg == "--rel-tol") {
-            rel_tol = std::strtod(value().c_str(), nullptr);
-            if (rel_tol < 0.0)
-                usage(argv[0], 2);
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
-                         arg.c_str());
-            usage(argv[0], 2);
-        } else {
-            files.push_back(arg);
-        }
+    sim::DriftAllowlist allowlist;
+    for (const std::string &list : args.all("--allow")) {
+        for (const std::string &entry : cli::splitCommas(list))
+            allowlist.entries.push_back(entry);
     }
+    if (args.has("--allow-file")) {
+        std::string path = args.str("--allow-file");
+        bool existed = false;
+        sim::DriftAllowlist extra =
+            sim::DriftAllowlist::load(path, &existed);
+        if (!existed) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         path.c_str());
+            return 2;
+        }
+        allowlist.entries.insert(allowlist.entries.end(),
+                                 extra.entries.begin(),
+                                 extra.entries.end());
+    }
+    double rel_tol = args.dbl("--rel-tol", 0.0);
+    if (rel_tol < 0.0)
+        args.fail("--rel-tol must be >= 0");
+
+    const std::vector<std::string> &files = args.positionals();
     if (files.size() != 2)
-        usage(argv[0], 2);
+        args.usage(2);
 
     sim::GoldenRun golden, candidate;
     for (int side = 0; side < 2; side++) {
-        std::string text = readFile(files[side]);
+        std::string text = cli::readFile(files[side]);
         if (text.empty()) {
             std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
                          files[side].c_str());

@@ -29,10 +29,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "cpu/trace.hh"
 #include "sim/batch_runner.hh"
 #include "sim/golden.hh"
@@ -57,36 +57,13 @@ struct Options
     bool jsonl = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int status)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s --workload a[,b,...]|all [--mode M]\n"
-        "          [--sample-interval N] [--trace-capacity N]\n"
-        "          [--scale N] [--seed S] [--jobs N] [--out-dir D]\n"
-        "          [--jsonl]\n"
-        "modes: baseline, oracle-difficult-path, microthread,\n"
-        "       microthread-no-predictions, oracle-all-branches\n",
-        argv0);
-    std::exit(status);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &arg)
-{
-    std::vector<std::string> out;
-    size_t pos = 0;
-    while (pos < arg.size()) {
-        size_t comma = arg.find(',', pos);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > pos)
-            out.push_back(arg.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
+const char kUsage[] =
+    "usage: ssmt_trace --workload a[,b,...]|all [--mode M]\n"
+    "          [--sample-interval N] [--trace-capacity N]\n"
+    "          [--scale N] [--seed S] [--jobs N] [--out-dir D]\n"
+    "          [--jsonl] [--list-workloads]\n"
+    "modes: baseline, oracle-difficult-path, microthread,\n"
+    "       microthread-no-predictions, oracle-all-branches\n";
 
 bool
 parseMode(const std::string &name, sim::Mode &out)
@@ -107,73 +84,48 @@ parseMode(const std::string &name, sim::Mode &out)
 Options
 parseOptions(int argc, char **argv)
 {
+    cli::ArgParser args(argc, argv, kUsage,
+                        {{"--workload", "--workloads", true},
+                         {"--mode", nullptr, true},
+                         {"--sample-interval", nullptr, true},
+                         {"--trace-capacity", nullptr, true},
+                         {"--scale", nullptr, true},
+                         {"--seed", nullptr, true},
+                         {"--jobs", nullptr, true},
+                         {"--out-dir", nullptr, true},
+                         {"--jsonl"}});
+    if (!args.positionals().empty())
+        args.fail("unexpected argument '" + args.positionals()[0] +
+                  "'");
     Options opt;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n",
-                             argv[0], arg.c_str());
-                usage(argv[0], 2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--workload" || arg == "--workloads") {
-            opt.workloads = splitCommas(value());
-        } else if (arg == "--mode") {
-            std::string name = value();
-            if (!parseMode(name, opt.mode)) {
-                std::fprintf(stderr, "%s: unknown mode '%s'\n",
-                             argv[0], name.c_str());
-                usage(argv[0], 2);
-            }
-        } else if (arg == "--sample-interval") {
-            opt.sampleInterval =
-                std::strtoull(value().c_str(), nullptr, 10);
-        } else if (arg == "--trace-capacity") {
-            opt.traceCapacity = static_cast<size_t>(
-                std::strtoull(value().c_str(), nullptr, 10));
-        } else if (arg == "--scale") {
-            opt.scale = std::strtoull(value().c_str(), nullptr, 10);
-            if (opt.scale == 0)
-                usage(argv[0], 2);
-        } else if (arg == "--seed") {
-            opt.seed = std::strtoull(value().c_str(), nullptr, 10);
-        } else if (arg == "--jobs") {
-            long parsed = std::strtol(value().c_str(), nullptr, 10);
-            if (parsed <= 0)
-                usage(argv[0], 2);
-            opt.jobs = static_cast<unsigned>(parsed);
-        } else if (arg == "--out-dir") {
-            opt.outDir = value();
-        } else if (arg == "--jsonl") {
-            opt.jsonl = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
-        } else {
-            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
-                         arg.c_str());
-            usage(argv[0], 2);
-        }
+    if (args.has("--mode")) {
+        std::string name = args.str("--mode");
+        if (!parseMode(name, opt.mode))
+            args.fail("unknown mode '" + name + "'");
     }
-    if (opt.workloads.empty()) {
-        std::fprintf(stderr, "%s: --workload is required\n", argv[0]);
-        usage(argv[0], 2);
+    opt.sampleInterval =
+        args.u64("--sample-interval", opt.sampleInterval);
+    opt.traceCapacity = static_cast<size_t>(
+        args.u64("--trace-capacity", opt.traceCapacity));
+    opt.scale = args.u64("--scale", opt.scale);
+    if (opt.scale == 0)
+        args.fail("--scale must be >= 1");
+    opt.seed = args.u64("--seed", opt.seed);
+    if (args.has("--jobs")) {
+        uint64_t jobs = args.u64("--jobs");
+        if (jobs == 0)
+            args.fail("--jobs must be >= 1");
+        opt.jobs = static_cast<unsigned>(jobs);
     }
-    if (opt.workloads.size() == 1 && opt.workloads[0] == "all")
-        opt.workloads = workloads::workloadNames();
+    opt.outDir = args.str("--out-dir", opt.outDir);
+    opt.jsonl = args.has("--jsonl");
+    if (!args.has("--workload"))
+        args.fail("--workload is required");
+    opt.workloads =
+        cli::expandWorkloadList(args.str("--workload"));
+    if (opt.workloads.empty())
+        args.fail("--workload is required");
     return opt;
-}
-
-bool
-writeFile(const std::string &path, const std::string &body)
-{
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return false;
-    size_t written = std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
-    return written == body.size();
 }
 
 } // namespace
@@ -253,9 +205,9 @@ main(int argc, char **argv)
         if (opt.traceCapacity > 0) {
             std::string path =
                 opt.outDir + "/" + name + ".trace.json";
-            if (!writeFile(path,
-                           cpu::chromeTraceJson(
-                               result.artifacts.trace))) {
+            if (!cli::writeFile(path,
+                                cpu::chromeTraceJson(
+                                    result.artifacts.trace))) {
                 std::fprintf(stderr, "%s: cannot write %s\n",
                              name.c_str(), path.c_str());
                 failures++;

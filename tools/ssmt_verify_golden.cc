@@ -27,12 +27,10 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "cli_common.hh"
 #include "sim/batch_runner.hh"
 #include "sim/golden.hh"
 #include "sim/invariants.hh"
@@ -42,21 +40,6 @@ namespace
 {
 
 using namespace ssmt;
-
-std::string
-readFile(const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "r");
-    if (!file)
-        return "";
-    std::string text;
-    char buf[4096];
-    size_t got;
-    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
-        text.append(buf, got);
-    std::fclose(file);
-    return text;
-}
 
 struct Options
 {
@@ -68,71 +51,40 @@ struct Options
     bool differential = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int status)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--golden-dir D] [--jobs N] [--update]\n"
-        "          [--allowlist F] [--workloads a,b,...]"
-        " [--differential]\n",
-        argv0);
-    std::exit(status);
-}
-
-std::vector<std::string>
-splitCommas(const std::string &arg)
-{
-    std::vector<std::string> out;
-    size_t pos = 0;
-    while (pos < arg.size()) {
-        size_t comma = arg.find(',', pos);
-        if (comma == std::string::npos)
-            comma = arg.size();
-        if (comma > pos)
-            out.push_back(arg.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
-}
+const char kUsage[] =
+    "usage: ssmt_verify_golden [--golden-dir D] [--jobs N]"
+    " [--update]\n"
+    "          [--allowlist F] [--workloads a,b,...]"
+    " [--differential]\n"
+    "          [--list-workloads]\n";
 
 Options
 parseOptions(int argc, char **argv)
 {
+    cli::ArgParser args(
+        argc, argv, kUsage,
+        {{"--golden-dir", nullptr, true},
+         {"--allowlist", nullptr, true},
+         {"--workloads", nullptr, true},
+         {"--jobs", nullptr, true},
+         {"--update"},
+         {"--differential"}});
+    if (!args.positionals().empty())
+        args.fail("unexpected argument '" + args.positionals()[0] +
+                  "'");
     Options opt;
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n",
-                             argv[0], arg.c_str());
-                usage(argv[0], 2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--golden-dir") {
-            opt.goldenDir = value();
-        } else if (arg == "--allowlist") {
-            opt.allowlistPath = value();
-        } else if (arg == "--workloads") {
-            opt.workloads = splitCommas(value());
-        } else if (arg == "--jobs") {
-            long parsed = std::strtol(value().c_str(), nullptr, 10);
-            if (parsed <= 0)
-                usage(argv[0], 2);
-            opt.jobs = static_cast<unsigned>(parsed);
-        } else if (arg == "--update") {
-            opt.update = true;
-        } else if (arg == "--differential") {
-            opt.differential = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
-        } else {
-            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
-                         arg.c_str());
-            usage(argv[0], 2);
-        }
+    opt.goldenDir = args.str("--golden-dir", opt.goldenDir);
+    opt.allowlistPath = args.str("--allowlist");
+    if (args.has("--workloads"))
+        opt.workloads = cli::splitCommas(args.str("--workloads"));
+    if (args.has("--jobs")) {
+        uint64_t jobs = args.u64("--jobs");
+        if (jobs == 0)
+            args.fail("--jobs must be >= 1");
+        opt.jobs = static_cast<unsigned>(jobs);
     }
+    opt.update = args.has("--update");
+    opt.differential = args.has("--differential");
     if (opt.allowlistPath.empty())
         opt.allowlistPath = opt.goldenDir + "/ALLOWLIST";
     return opt;
@@ -207,25 +159,10 @@ main(int argc, char **argv)
     Options opt = parseOptions(argc, argv);
 
     std::vector<workloads::WorkloadInfo> suite;
-    if (opt.workloads.empty()) {
+    if (opt.workloads.empty())
         suite = workloads::allWorkloads();
-    } else {
-        for (const std::string &name : opt.workloads) {
-            bool found = false;
-            for (const auto &info : workloads::allWorkloads()) {
-                if (info.name == name) {
-                    suite.push_back(info);
-                    found = true;
-                    break;
-                }
-            }
-            if (!found) {
-                std::fprintf(stderr, "unknown workload '%s'\n",
-                             name.c_str());
-                return 2;
-            }
-        }
-    }
+    else
+        suite = cli::resolveWorkloads(opt.workloads, argv[0]);
 
     bool allowlistExisted = false;
     sim::DriftAllowlist allowlist = sim::DriftAllowlist::load(
@@ -281,7 +218,7 @@ main(int argc, char **argv)
         const std::string &name = suite[i].name;
         std::string path =
             opt.goldenDir + "/" + sim::goldenFileName(name);
-        std::string text = readFile(path);
+        std::string text = cli::readFile(path);
         if (text.empty()) {
             std::fprintf(stderr,
                          "missing golden snapshot %s (run "
