@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how fast does the *host* chew
+ * through simulated work? Runs every workload under every mechanism
+ * mode, times each cell with std::chrono::steady_clock, and reports
+ * simulated MIPS (retired instructions per host-second, in millions)
+ * and simulated cycles per host-second — the numbers ROADMAP item 2
+ * tracks across PRs the way golden/ tracks correctness.
+ *
+ * The measurement engine and the ssmt-throughput-v1 JSON format live
+ * in sim/throughput_report.hh (tested by
+ * tests/test_bench_throughput.cc); this file is the command line.
+ *
+ * The committed baseline lives at results/BENCH_throughput.json;
+ * refresh it with:
+ *   bench_throughput --repeat 3 --out results/BENCH_throughput.json
+ * A committed report also records the *pre-change* reference it was
+ * measured against (--baseline-mips/--baseline-note), so the
+ * before/after claim travels with the number.
+ *
+ * Usage:
+ *   bench_throughput [--workloads a,b|all] [--modes m,...|all]
+ *                    [--repeat N] [--scale N] [--seed S]
+ *                    [--jobs N|auto] [--out FILE] [--smoke]
+ *                    [--baseline-mips X] [--baseline-note STR]
+ *                    [--compare FILE] [--tolerance FRAC]
+ *
+ * Exit status: 0 on success (simulated counters are additionally
+ * cross-checked against a second run — any mismatch means the
+ * simulator went nondeterministic and exits 1), 2 bad usage. The
+ * --compare report is advisory: regressions are printed, never
+ * fatal (wall-clock gates on shared runners are flaky by design).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli_common.hh"
+#include "sim/golden.hh"
+#include "sim/throughput_report.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> modes;
+    uint64_t repeat = 3;
+    uint64_t scale = 1;
+    uint64_t seed = 0x5eed;
+    unsigned jobs = 1;
+    std::string out = "BENCH_throughput.json";
+    std::string compare;
+    double tolerance = 0.3;
+    double baselineMips = 0.0;
+    std::string baselineNote;
+    bool smoke = false;
+};
+
+const char kUsage[] =
+    "usage: bench_throughput [--workloads a,b,...|all]"
+    " [--modes m,...|all]\n"
+    "          [--repeat N] [--scale N] [--seed S] [--jobs N|auto]\n"
+    "          [--out FILE] [--smoke] [--list-workloads]\n"
+    "          [--baseline-mips X] [--baseline-note STR]\n"
+    "          [--compare FILE] [--tolerance FRAC]\n"
+    "\n"
+    "Measures simulated-MIPS (retired instructions per host-second)\n"
+    "and simulated cycles/sec for every (workload, mode) cell and\n"
+    "writes an ssmt-throughput-v1 JSON report.\n"
+    "\n"
+    "  --modes      comma list of: baseline, oracle-difficult-path,\n"
+    "               microthread, microthread-no-predictions,\n"
+    "               oracle-all-branches (default: the first four)\n"
+    "  --repeat     suite repetitions; each cell keeps its minimum\n"
+    "               wall time (default 3)\n"
+    "  --jobs       worker threads; 'auto' = all cores. Default 1 so\n"
+    "               the committed numbers stay single-threaded.\n"
+    "  --smoke      3-workload x 2-mode subset, repeat 1 (CI)\n"
+    "  --baseline-mips/--baseline-note\n"
+    "               embed the pre-change reference geomean in the\n"
+    "               report's \"baseline\" object\n"
+    "  --compare    print an advisory slowdown report against an\n"
+    "               earlier ssmt-throughput-v1 file (never fatal);\n"
+    "               --tolerance is the allowed fraction (default 0.3)\n";
+
+constexpr sim::Mode kAllModes[] = {
+    sim::Mode::Baseline, sim::Mode::OracleDifficultPath,
+    sim::Mode::Microthread, sim::Mode::MicrothreadNoPredictions,
+    sim::Mode::OracleAllBranches};
+
+sim::Mode
+modeFromName(const std::string &name)
+{
+    for (sim::Mode mode : kAllModes) {
+        if (name == sim::modeName(mode))
+            return mode;
+    }
+    return sim::Mode::Baseline;     // parseOptions validated already
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    cli::ArgParser args(argc, argv, kUsage,
+                        {{"--workloads", "--workload", true},
+                         {"--modes", "--mode", true},
+                         {"--repeat", nullptr, true},
+                         {"--scale", nullptr, true},
+                         {"--seed", nullptr, true},
+                         {"--jobs", nullptr, true},
+                         {"--out", nullptr, true},
+                         {"--compare", nullptr, true},
+                         {"--tolerance", nullptr, true},
+                         {"--baseline-mips", nullptr, true},
+                         {"--baseline-note", nullptr, true},
+                         {"--smoke"}});
+    if (!args.positionals().empty())
+        args.fail("unexpected argument '" + args.positionals()[0] +
+                  "'");
+    Options opt;
+    opt.smoke = args.has("--smoke");
+    if (opt.smoke) {
+        opt.workloads = {"comp", "go", "mcf_2k"};
+        opt.modes = {"baseline", "microthread"};
+        opt.repeat = 1;
+    }
+    if (args.has("--workloads"))
+        opt.workloads = cli::expandWorkloadList(args.str("--workloads"));
+    if (opt.workloads.empty())
+        opt.workloads = workloads::workloadNames();
+    if (args.has("--modes")) {
+        std::string text = args.str("--modes");
+        opt.modes = text == "all"
+                        ? std::vector<std::string>{
+                              "baseline", "oracle-difficult-path",
+                              "microthread",
+                              "microthread-no-predictions",
+                              "oracle-all-branches"}
+                        : cli::splitCommas(text);
+    }
+    if (opt.modes.empty())
+        opt.modes = {"baseline", "oracle-difficult-path",
+                     "microthread", "microthread-no-predictions"};
+    for (const std::string &name : opt.modes) {
+        bool known = false;
+        for (sim::Mode mode : kAllModes)
+            known = known || name == sim::modeName(mode);
+        if (!known)
+            args.fail("unknown mode '" + name + "'");
+    }
+    opt.repeat = args.u64("--repeat", opt.repeat);
+    if (opt.repeat == 0)
+        args.fail("--repeat must be >= 1");
+    opt.scale = args.u64("--scale", opt.scale);
+    opt.seed = args.u64("--seed", opt.seed);
+    if (args.has("--jobs"))
+        opt.jobs = cli::jobsFlag(args);
+    opt.out = args.str("--out", opt.out);
+    opt.compare = args.str("--compare", opt.compare);
+    if (args.has("--tolerance")) {
+        opt.tolerance = std::atof(args.str("--tolerance").c_str());
+        if (opt.tolerance < 0.0 || opt.tolerance >= 1.0)
+            args.fail("--tolerance must be in [0, 1)");
+    }
+    if (args.has("--baseline-mips"))
+        opt.baselineMips =
+            std::atof(args.str("--baseline-mips").c_str());
+    opt.baselineNote = args.str("--baseline-note", opt.baselineNote);
+    return opt;
+}
+
+/** Advisory slowdown report against an earlier committed file. */
+void
+reportComparison(const sim::ThroughputReport &current,
+                 const std::string &path, double tolerance)
+{
+    std::string text = cli::readFile(path);
+    if (text.empty()) {
+        std::fprintf(stderr,
+                     "[throughput] compare: cannot read %s "
+                     "(advisory, continuing)\n",
+                     path.c_str());
+        return;
+    }
+    sim::ThroughputReport baseline;
+    std::string err;
+    if (!sim::parseThroughput(text, baseline, &err)) {
+        std::fprintf(stderr,
+                     "[throughput] compare: %s: %s "
+                     "(advisory, continuing)\n",
+                     path.c_str(), err.c_str());
+        return;
+    }
+    std::vector<sim::ThroughputDelta> slow =
+        sim::throughputRegressions(current, baseline, tolerance);
+    if (slow.empty()) {
+        std::printf("[throughput] compare vs %s: no cell more than "
+                    "%.0f%% below baseline (geomean %.3f vs %.3f "
+                    "MIPS)\n",
+                    path.c_str(), tolerance * 100,
+                    current.geomeanMips, baseline.geomeanMips);
+        return;
+    }
+    for (const sim::ThroughputDelta &delta : slow) {
+        std::printf("[throughput] ADVISORY %s/%s: %.3f MIPS vs "
+                    "baseline %.3f (%.0f%%)\n",
+                    delta.workload.c_str(), delta.mode.c_str(),
+                    delta.currentMips, delta.baselineMips,
+                    delta.ratio() * 100);
+    }
+    std::printf("[throughput] compare vs %s: %zu/%zu cells below "
+                "the %.0f%% tolerance (advisory only)\n",
+                path.c_str(), slow.size(), baseline.cells.size(),
+                tolerance * 100);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    std::vector<workloads::WorkloadInfo> suite =
+        cli::resolveWorkloads(opt.workloads, argv[0]);
+
+    workloads::WorkloadParams params;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+
+    // Build the cell matrix once; programs are shared across repeats
+    // so only SsmtCore::run() is inside the timed region.
+    std::vector<sim::BatchJob> batch;
+    batch.reserve(suite.size() * opt.modes.size());
+    for (const auto &info : suite) {
+        isa::Program prog = info.make(params);
+        for (const std::string &mode : opt.modes) {
+            sim::MachineConfig cfg = sim::goldenMachineConfig();
+            cfg.mode = modeFromName(mode);
+            batch.push_back({info.name + "/" + mode, prog, cfg});
+        }
+    }
+
+    sim::ThroughputReport report;
+    report.scale = opt.scale;
+    std::string err;
+    if (!sim::measureThroughput(batch, opt.jobs, opt.repeat, report,
+                                &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    if (opt.baselineMips > 0.0) {
+        report.baseline.present = true;
+        report.baseline.geomeanMips = opt.baselineMips;
+        report.baseline.note = opt.baselineNote;
+    }
+
+    std::string doc = sim::throughputJson(report);
+    if (opt.out == "-") {
+        std::fputs(doc.c_str(), stdout);
+    } else if (!cli::writeFile(opt.out, doc)) {
+        std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+        return 1;
+    }
+
+    std::printf("[throughput] %zu cells, jobs %u, repeat %llu: "
+                "geomean %.3f MIPS, %.3g cycles/sec (wall %.2fs)%s%s\n",
+                report.cells.size(), report.jobs,
+                static_cast<unsigned long long>(report.repeat),
+                report.geomeanMips, report.geomeanCyclesPerSec,
+                report.suiteWallSeconds, opt.out == "-" ? "" : " -> ",
+                opt.out == "-" ? "" : opt.out.c_str());
+
+    if (!opt.compare.empty())
+        reportComparison(report, opt.compare, opt.tolerance);
+    return 0;
+}

@@ -48,69 +48,6 @@ FrontEndPredictor::predictOnly(uint64_t pc, const isa::Inst &inst) const
     return pred;
 }
 
-HwPrediction
-FrontEndPredictor::predictAndTrain(uint64_t pc, const isa::Inst &inst,
-                                   bool actual_taken,
-                                   uint64_t actual_target)
-{
-    HwPrediction pred;
-
-    switch (inst.op) {
-      case isa::Opcode::J:
-        // Direct target, always available at fetch: never mispredicts
-        // under the idealized front-end.
-        pred.taken = true;
-        pred.target = actual_target;
-        pred.correct = true;
-        break;
-
-      case isa::Opcode::Jal:
-        pred.taken = true;
-        pred.target = actual_target;
-        pred.correct = true;
-        ras_.push(pc + 1);
-        break;
-
-      case isa::Opcode::Jr:
-        pred.taken = true;
-        if (inst.rs1 == isa::kRegLink) {
-            pred.target = ras_.pop();
-        } else {
-            pred.target = targetCache_.predict(pc);
-            targetCache_.update(pc, actual_target);
-        }
-        pred.correct = pred.target == actual_target;
-        indPredictions_++;
-        if (!pred.correct)
-            indMispredicts_++;
-        break;
-
-      case isa::Opcode::Jalr:
-        pred.taken = true;
-        pred.target = targetCache_.predict(pc);
-        targetCache_.update(pc, actual_target);
-        pred.correct = pred.target == actual_target;
-        indPredictions_++;
-        if (!pred.correct)
-            indMispredicts_++;
-        ras_.push(pc + 1);
-        break;
-
-      default:
-        SSMT_ASSERT(inst.isCondBranch(),
-                    "predictAndTrain on a non-control instruction");
-        pred.taken = hybrid_.predict(pc);
-        pred.target = static_cast<uint64_t>(inst.imm);
-        pred.correct = pred.taken == actual_taken;
-        condPredictions_++;
-        if (!pred.correct)
-            condMispredicts_++;
-        hybrid_.update(pc, actual_taken);
-        break;
-    }
-    return pred;
-}
-
 
 void
 FrontEndPredictor::save(sim::SnapshotWriter &w) const

@@ -20,6 +20,7 @@
 #include "bpred/ras.hh"
 #include "bpred/target_cache.hh"
 #include "isa/inst.hh"
+#include "sim/logging.hh"
 
 namespace ssmt
 {
@@ -52,14 +53,75 @@ class FrontEndPredictor
      * train with the actual outcome (execute-at-fetch model; see
      * DESIGN.md section 4).
      *
+     * Header-inline: runs once per fetched control-flow instruction
+     * (millions of calls per run).
+     *
      * @param pc            instruction index of the branch
      * @param inst          the control-flow instruction
      * @param actual_taken  architectural direction
      * @param actual_target architectural destination when taken
      */
-    HwPrediction predictAndTrain(uint64_t pc, const isa::Inst &inst,
-                                 bool actual_taken,
-                                 uint64_t actual_target);
+    HwPrediction
+    predictAndTrain(uint64_t pc, const isa::Inst &inst,
+                    bool actual_taken, uint64_t actual_target)
+    {
+        HwPrediction pred;
+
+        switch (inst.op) {
+          case isa::Opcode::J:
+            // Direct target, always available at fetch: never
+            // mispredicts under the idealized front-end.
+            pred.taken = true;
+            pred.target = actual_target;
+            pred.correct = true;
+            break;
+
+          case isa::Opcode::Jal:
+            pred.taken = true;
+            pred.target = actual_target;
+            pred.correct = true;
+            ras_.push(pc + 1);
+            break;
+
+          case isa::Opcode::Jr:
+            pred.taken = true;
+            if (inst.rs1 == isa::kRegLink) {
+                pred.target = ras_.pop();
+            } else {
+                pred.target = targetCache_.predict(pc);
+                targetCache_.update(pc, actual_target);
+            }
+            pred.correct = pred.target == actual_target;
+            indPredictions_++;
+            if (!pred.correct)
+                indMispredicts_++;
+            break;
+
+          case isa::Opcode::Jalr:
+            pred.taken = true;
+            pred.target = targetCache_.predict(pc);
+            targetCache_.update(pc, actual_target);
+            pred.correct = pred.target == actual_target;
+            indPredictions_++;
+            if (!pred.correct)
+                indMispredicts_++;
+            ras_.push(pc + 1);
+            break;
+
+          default:
+            SSMT_ASSERT(inst.isCondBranch(),
+                        "predictAndTrain on a non-control "
+                        "instruction");
+            pred.taken = hybrid_.predictAndTrain(pc, actual_taken);
+            pred.target = static_cast<uint64_t>(inst.imm);
+            pred.correct = pred.taken == actual_taken;
+            condPredictions_++;
+            if (!pred.correct)
+                condMispredicts_++;
+            break;
+        }
+        return pred;
+    }
 
     /**
      * Predict only, without training or stats (used to ask "what
@@ -92,3 +154,4 @@ class FrontEndPredictor
 } // namespace ssmt
 
 #endif // SSMT_BPRED_FRONTEND_PREDICTOR_HH
+

@@ -19,33 +19,6 @@ Gshare::Gshare(uint64_t num_entries)
         historyBits_++;
 }
 
-uint64_t
-Gshare::index(uint64_t pc) const
-{
-    return (pc ^ history_) & mask_;
-}
-
-bool
-Gshare::predict(uint64_t pc) const
-{
-    return pht_[index(pc)].predictTaken();
-}
-
-void
-Gshare::update(uint64_t pc, bool taken)
-{
-    pht_[index(pc)].update(taken);
-    pushHistory(taken);
-}
-
-void
-Gshare::pushHistory(bool taken)
-{
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
-               ((1ull << historyBits_) - 1);
-}
-
-
 void
 Gshare::save(sim::SnapshotWriter &w) const
 {
@@ -70,3 +43,4 @@ static_assert(sim::SnapshotterLike<Gshare>);
 
 } // namespace bpred
 } // namespace ssmt
+

@@ -31,15 +31,40 @@ class Gshare
      */
     explicit Gshare(uint64_t num_entries = 128 * 1024);
 
+    // predict/update run once per fetched conditional branch (tens
+    // of millions of calls per run), so they live in the header.
+
     /** Predict direction for the branch at @p pc. */
-    bool predict(uint64_t pc) const;
+    bool predict(uint64_t pc) const { return pht_[index(pc)].predictTaken(); }
 
     /** Train the indexed counter and shift @p taken into history. */
-    void update(uint64_t pc, bool taken);
+    void
+    update(uint64_t pc, bool taken)
+    {
+        pht_[index(pc)].update(taken);
+        pushHistory(taken);
+    }
+
+    /** predict() + update() in one PHT probe: returns the pre-update
+     *  prediction the split calls would have produced. */
+    bool
+    predictAndTrain(uint64_t pc, bool taken)
+    {
+        Counter2 &counter = pht_[index(pc)];
+        bool pred = counter.predictTaken();
+        counter.update(taken);
+        pushHistory(taken);
+        return pred;
+    }
 
     /** Shift an outcome into the global history without training
      *  (used for unconditional taken control flow, if desired). */
-    void pushHistory(bool taken);
+    void
+    pushHistory(bool taken)
+    {
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((1ull << historyBits_) - 1);
+    }
 
     uint64_t history() const { return history_; }
     uint64_t numEntries() const { return pht_.size(); }
@@ -53,10 +78,11 @@ class Gshare
     uint64_t history_ = 0;
     int historyBits_;
 
-    uint64_t index(uint64_t pc) const;
+    uint64_t index(uint64_t pc) const { return (pc ^ history_) & mask_; }
 };
 
 } // namespace bpred
 } // namespace ssmt
 
 #endif // SSMT_BPRED_GSHARE_HH
+

@@ -17,42 +17,6 @@ Hybrid::Hybrid(uint64_t component_entries, uint64_t selector_entries)
                 "selector size must be a power of two");
 }
 
-uint64_t
-Hybrid::selectorIndex(uint64_t pc) const
-{
-    return (pc ^ gshare_.history()) & selectorMask_;
-}
-
-bool
-Hybrid::predict(uint64_t pc) const
-{
-    // Selector counter >= weakly-taken means "use gshare".
-    if (selector_[selectorIndex(pc)].predictTaken())
-        return gshare_.predict(pc);
-    return pas_.predict(pc);
-}
-
-void
-Hybrid::update(uint64_t pc, bool taken)
-{
-    bool g_pred = gshare_.predict(pc);
-    bool p_pred = pas_.predict(pc);
-    bool used = predict(pc);
-
-    predictions_++;
-    if (used != taken)
-        mispredictions_++;
-
-    // Selector trains only when the components disagree.
-    Counter2 &sel = selector_[selectorIndex(pc)];
-    if (g_pred != p_pred)
-        sel.update(g_pred == taken);
-
-    gshare_.update(pc, taken);
-    pas_.update(pc, taken);
-}
-
-
 void
 Hybrid::save(sim::SnapshotWriter &w) const
 {
@@ -91,3 +55,4 @@ static_assert(sim::SnapshotterLike<Hybrid>);
 
 } // namespace bpred
 } // namespace ssmt
+

@@ -30,15 +30,72 @@ class Hybrid
     Hybrid(uint64_t component_entries = 128 * 1024,
            uint64_t selector_entries = 64 * 1024);
 
+    // predict/update run once per fetched conditional branch (tens
+    // of millions of calls per run), so they live in the header.
+
     /** Predict direction for the branch at @p pc. */
-    bool predict(uint64_t pc) const;
+    bool
+    predict(uint64_t pc) const
+    {
+        // Selector counter >= weakly-taken means "use gshare".
+        if (selector_[selectorIndex(pc)].predictTaken())
+            return gshare_.predict(pc);
+        return pas_.predict(pc);
+    }
 
     /**
      * Train both components and the selector with the actual
      * @p taken outcome. The selector moves towards the component
      * that was correct when exactly one of them was.
      */
-    void update(uint64_t pc, bool taken);
+    void
+    update(uint64_t pc, bool taken)
+    {
+        bool g_pred = gshare_.predict(pc);
+        bool p_pred = pas_.predict(pc);
+        bool used = predict(pc);
+
+        predictions_++;
+        if (used != taken)
+            mispredictions_++;
+
+        // Selector trains only when the components disagree.
+        Counter2 &sel = selector_[selectorIndex(pc)];
+        if (g_pred != p_pred)
+            sel.update(g_pred == taken);
+
+        gshare_.update(pc, taken);
+        pas_.update(pc, taken);
+    }
+
+    /**
+     * predict() + update() fused for the per-branch hot path: one
+     * selector probe and one index computation per component instead
+     * of the doubled probes the split calls pay (update() re-derives
+     * every component prediction). State evolution and the returned
+     * pre-update prediction are exactly those of predict() followed
+     * by update().
+     */
+    bool
+    predictAndTrain(uint64_t pc, bool taken)
+    {
+        // Selector ref and component indices all derive from the
+        // pre-update gshare history, as in the split formulation.
+        Counter2 &sel = selector_[selectorIndex(pc)];
+        bool use_gshare = sel.predictTaken();
+        bool g_pred = gshare_.predictAndTrain(pc, taken);
+        bool p_pred = pas_.predictAndTrain(pc, taken);
+        bool used = use_gshare ? g_pred : p_pred;
+
+        predictions_++;
+        if (used != taken)
+            mispredictions_++;
+
+        // Selector trains only when the components disagree.
+        if (g_pred != p_pred)
+            sel.update(g_pred == taken);
+        return used;
+    }
 
     const Gshare &gshare() const { return gshare_; }
     const Pas &pas() const { return pas_; }
@@ -67,10 +124,15 @@ class Hybrid
     uint64_t predictions_ = 0;
     uint64_t mispredictions_ = 0;
 
-    uint64_t selectorIndex(uint64_t pc) const;
+    uint64_t
+    selectorIndex(uint64_t pc) const
+    {
+        return (pc ^ gshare_.history()) & selectorMask_;
+    }
 };
 
 } // namespace bpred
 } // namespace ssmt
 
 #endif // SSMT_BPRED_HYBRID_HH
+

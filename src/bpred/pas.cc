@@ -20,37 +20,6 @@ Pas::Pas(uint64_t num_bht_entries, int history_bits,
                 "PAs table sizes must be powers of two");
 }
 
-uint64_t
-Pas::phtIndex(uint64_t pc) const
-{
-    uint64_t hist = bht_[pc & bhtMask_];
-    // Concatenate local history with low pc bits to reduce aliasing
-    // between branches sharing a history pattern.
-    return ((hist << 5) ^ pc) & phtMask_;
-}
-
-bool
-Pas::predict(uint64_t pc) const
-{
-    return pht_[phtIndex(pc)].predictTaken();
-}
-
-void
-Pas::update(uint64_t pc, bool taken)
-{
-    pht_[phtIndex(pc)].update(taken);
-    uint64_t &hist = bht_[pc & bhtMask_];
-    hist = ((hist << 1) | (taken ? 1 : 0)) &
-           ((1ull << historyBits_) - 1);
-}
-
-uint64_t
-Pas::localHistory(uint64_t pc) const
-{
-    return bht_[pc & bhtMask_];
-}
-
-
 void
 Pas::save(sim::SnapshotWriter &w) const
 {
@@ -77,3 +46,4 @@ static_assert(sim::SnapshotterLike<Pas>);
 
 } // namespace bpred
 } // namespace ssmt
+

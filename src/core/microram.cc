@@ -11,24 +11,54 @@ namespace ssmt
 namespace core
 {
 
-const std::vector<PathId> MicroRam::kEmpty;
+const std::vector<SpawnTarget> MicroRam::kEmpty;
 
 MicroRam::MicroRam(uint32_t capacity) : capacity_(capacity)
 {
     SSMT_ASSERT(capacity > 0, "MicroRAM capacity must be positive");
 }
 
+void
+MicroRam::setProgramSize(size_t num_pcs)
+{
+    spawnAtPc_.assign(num_pcs, 0);
+    spawnIndex_.forEach(
+        [&](uint64_t pc, const std::vector<SpawnTarget> &ids) {
+            if (pc < spawnAtPc_.size())
+                spawnAtPc_[pc] =
+                    static_cast<uint16_t>(ids.size());
+        });
+}
+
+void
+MicroRam::indexSpawn(uint64_t pc, PathId id,
+                     const std::shared_ptr<const MicroThread> &thread)
+{
+    SpawnTarget target;
+    target.id = id;
+    target.thread = thread;
+    target.prefixLen = static_cast<uint32_t>(thread->prefix.size());
+    target.lastPrefixAddr =
+        target.prefixLen > 0
+            ? thread->prefix.back().pc * isa::kInstBytes
+            : 0;
+    spawnIndex_[pc].push_back(target);
+    if (pc < spawnAtPc_.size())
+        spawnAtPc_[pc]++;
+}
+
 bool
 MicroRam::insert(MicroThread thread)
 {
-    auto it = routines_.find(thread.pathId);
-    if (it != routines_.end()) {
+    auto *existing = routines_.find(thread.pathId);
+    if (existing) {
         // Rebuild: replace in place (Section 4.2.4). Instances of
         // the old routine keep their shared handle until they drain.
-        unindex(*it->second);
-        spawnIndex_[thread.spawnPc].push_back(thread.pathId);
-        it->second =
+        unindex(**existing);
+        *existing =
             std::make_shared<const MicroThread>(std::move(thread));
+        indexSpawn((*existing)->spawnPc, (*existing)->pathId,
+                   *existing);
         insertions_++;
         return true;
     }
@@ -36,44 +66,32 @@ MicroRam::insert(MicroThread thread)
         rejectedFull_++;
         return false;
     }
-    spawnIndex_[thread.spawnPc].push_back(thread.pathId);
     PathId id = thread.pathId;
-    routines_.emplace(
-        id, std::make_shared<const MicroThread>(std::move(thread)));
+    auto &stored = routines_[id];
+    stored = std::make_shared<const MicroThread>(std::move(thread));
+    indexSpawn(stored->spawnPc, id, stored);
     insertions_++;
     return true;
-}
-
-const MicroThread *
-MicroRam::find(PathId id) const
-{
-    auto it = routines_.find(id);
-    return it == routines_.end() ? nullptr : it->second.get();
 }
 
 std::shared_ptr<const MicroThread>
 MicroRam::findShared(PathId id) const
 {
-    auto it = routines_.find(id);
-    return it == routines_.end() ? nullptr : it->second;
+    const std::shared_ptr<const MicroThread> *thread =
+        routines_.find(id);
+    return thread ? *thread : nullptr;
 }
 
 void
 MicroRam::remove(PathId id)
 {
-    auto it = routines_.find(id);
-    if (it == routines_.end())
+    const std::shared_ptr<const MicroThread> *thread =
+        routines_.find(id);
+    if (!thread)
         return;
-    unindex(*it->second);
-    routines_.erase(it);
+    unindex(**thread);
+    routines_.erase(id);
     removals_++;
-}
-
-const std::vector<PathId> &
-MicroRam::routinesAt(uint64_t pc) const
-{
-    auto it = spawnIndex_.find(pc);
-    return it == spawnIndex_.end() ? kEmpty : it->second;
 }
 
 std::vector<PathId>
@@ -81,22 +99,31 @@ MicroRam::ids() const
 {
     std::vector<PathId> out;
     out.reserve(routines_.size());
-    for (const auto &[id, thread] : routines_)
-        out.push_back(id);
+    routines_.forEach(
+        [&](uint64_t id, const std::shared_ptr<const MicroThread> &) {
+            out.push_back(id);
+        });
     return out;
 }
 
 void
 MicroRam::unindex(const MicroThread &thread)
 {
-    auto idx = spawnIndex_.find(thread.spawnPc);
-    if (idx == spawnIndex_.end())
+    std::vector<SpawnTarget> *vec = spawnIndex_.find(thread.spawnPc);
+    if (!vec)
         return;
-    auto &vec = idx->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), thread.pathId),
-              vec.end());
-    if (vec.empty())
-        spawnIndex_.erase(idx);
+    size_t before = vec->size();
+    vec->erase(std::remove_if(vec->begin(), vec->end(),
+                              [&](const SpawnTarget &t) {
+                                  return t.id == thread.pathId;
+                              }),
+               vec->end());
+    if (thread.spawnPc < spawnAtPc_.size()) {
+        spawnAtPc_[thread.spawnPc] -=
+            static_cast<uint16_t>(before - vec->size());
+    }
+    if (vec->empty())
+        spawnIndex_.erase(thread.spawnPc);
 }
 
 void
@@ -104,6 +131,7 @@ MicroRam::clear()
 {
     routines_.clear();
     spawnIndex_.clear();
+    std::fill(spawnAtPc_.begin(), spawnAtPc_.end(), 0);
 }
 
 
@@ -111,15 +139,12 @@ void
 MicroRam::save(sim::SnapshotWriter &w) const
 {
     // Routines sorted by path id for canonical bytes.
-    std::vector<PathId> ids_sorted;
-    ids_sorted.reserve(routines_.size());
-    for (const auto &kv : routines_)
-        ids_sorted.push_back(kv.first);
+    std::vector<PathId> ids_sorted = ids();
     std::sort(ids_sorted.begin(), ids_sorted.end());
     w.beginArray("routines");
     for (PathId id : ids_sorted) {
         w.beginObject();
-        routines_.find(id)->second->save(w);
+        (*routines_.find(id))->save(w);
         w.endObject();
     }
     w.endArray();
@@ -129,14 +154,19 @@ MicroRam::save(sim::SnapshotWriter &w) const
     // so this order is architecturally visible.
     std::vector<uint64_t> pcs;
     pcs.reserve(spawnIndex_.size());
-    for (const auto &kv : spawnIndex_)
-        pcs.push_back(kv.first);
+    spawnIndex_.forEach(
+        [&](uint64_t pc, const std::vector<SpawnTarget> &) {
+            pcs.push_back(pc);
+        });
     std::sort(pcs.begin(), pcs.end());
     w.beginArray("spawnIndex");
     for (uint64_t pc : pcs) {
         w.beginObject();
         w.u64("pc", pc);
-        w.u64Array("ids", spawnIndex_.find(pc)->second);
+        std::vector<uint64_t> ids_at;
+        for (const SpawnTarget &t : *spawnIndex_.find(pc))
+            ids_at.push_back(t.id);
+        w.u64Array("ids", ids_at);
         w.endObject();
     }
     w.endArray();
@@ -156,17 +186,39 @@ MicroRam::restore(sim::SnapshotReader &r)
         auto thread = std::make_shared<MicroThread>();
         thread->restore(r);
         const PathId id = thread->pathId;
-        routines_.emplace(id, std::move(thread));
+        routines_.insert(id, std::move(thread));
         r.leave();
     }
     r.leave();
     n = r.enterArray("spawnIndex");
     for (size_t i = 0; i < n; i++) {
         r.enterItem(i);
-        spawnIndex_.emplace(r.u64("pc"), r.u64Array("ids"));
+        uint64_t pc = r.u64("pc");
+        std::vector<SpawnTarget> targets;
+        for (uint64_t id : r.u64Array("ids")) {
+            // Re-bind the routine handle (and the denormalized
+            // prefix head) to the restored store.
+            const std::shared_ptr<const MicroThread> *thread =
+                routines_.find(id);
+            SSMT_ASSERT(thread,
+                        "spawn index references a missing routine");
+            SpawnTarget target;
+            target.id = id;
+            target.thread = *thread;
+            target.prefixLen = static_cast<uint32_t>(
+                (*thread)->prefix.size());
+            target.lastPrefixAddr =
+                target.prefixLen > 0
+                    ? (*thread)->prefix.back().pc * isa::kInstBytes
+                    : 0;
+            targets.push_back(target);
+        }
+        spawnIndex_.insert(pc, std::move(targets));
         r.leave();
     }
     r.leave();
+    // Rebuild the dense fetch filter over the restored index.
+    setProgramSize(spawnAtPc_.size());
     insertions_ = r.u64("insertions");
     rejectedFull_ = r.u64("rejectedFull");
     removals_ = r.u64("removals");
@@ -176,3 +228,4 @@ static_assert(sim::SnapshotterLike<MicroRam>);
 
 } // namespace core
 } // namespace ssmt
+

@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/microthread.hh"
+#include "sim/flat_hash.hh"
 
 namespace ssmt
 {
@@ -27,6 +27,25 @@ class SnapshotReader;
 }
 namespace core
 {
+
+/** One spawn-index entry: a routine spawnable at some pc. The
+ *  shared handle aliases the owning entry in the routine store —
+ *  insert() and remove() keep the two in lockstep — so a spawn
+ *  attempt both reads the routine and seeds the spawned context's
+ *  owning handle without ever probing the store again. The newest
+ *  prefix branch is denormalized here too: most attempts fail on
+ *  that very comparison (the paper's 67% prefix-abort rate), and
+ *  keeping it in the index entry lets them fail without touching
+ *  the routine's memory at all. */
+struct SpawnTarget
+{
+    PathId id;
+    std::shared_ptr<const MicroThread> thread;
+    /** prefix.back().pc as a path address, valid when prefixLen > 0:
+     *  the first (most recent) branch prefixMatches() compares. */
+    uint64_t lastPrefixAddr;
+    uint32_t prefixLen;
+};
 
 class MicroRam
 {
@@ -41,8 +60,16 @@ class MicroRam
      */
     bool insert(MicroThread thread);
 
-    /** @return the routine for @p id, or nullptr. */
-    const MicroThread *find(PathId id) const;
+    /** @return the routine for @p id, or nullptr. Header-inline:
+     *  probed by spawn attempts and difficulty re-checks on the
+     *  fetch path. */
+    const MicroThread *
+    find(PathId id) const
+    {
+        const std::shared_ptr<const MicroThread> *thread =
+            routines_.find(id);
+        return thread ? thread->get() : nullptr;
+    }
 
     /**
      * Shared handle to the routine for @p id (empty if absent).
@@ -56,8 +83,27 @@ class MicroRam
     /** Remove the routine for @p id (demotion). No-op if absent. */
     void remove(PathId id);
 
+    /**
+     * Size the dense spawn-point filter for a program of @p num_pcs
+     * instructions. routinesAt() is asked about *every* fetched
+     * instruction; with the filter in place the (overwhelmingly
+     * common) "no routine spawns here" answer is one array load
+     * instead of a hash probe. Optional — without it routinesAt()
+     * falls back to probing the spawn index.
+     */
+    void setProgramSize(size_t num_pcs);
+
     /** Routines whose spawn point is @p pc (possibly empty). */
-    const std::vector<PathId> &routinesAt(uint64_t pc) const;
+    const std::vector<SpawnTarget> &
+    routinesAt(uint64_t pc) const
+    {
+        if (pc < spawnAtPc_.size()) {
+            if (spawnAtPc_[pc] == 0)
+                return kEmpty;
+        }
+        const std::vector<SpawnTarget> *ids = spawnIndex_.find(pc);
+        return ids ? *ids : kEmpty;
+    }
 
     /** All stored path ids (diagnostics/examples). */
     std::vector<PathId> ids() const;
@@ -80,15 +126,19 @@ class MicroRam
 
   private:
     uint32_t capacity_;
-    std::unordered_map<PathId, std::shared_ptr<const MicroThread>>
-        routines_;
-    std::unordered_map<uint64_t, std::vector<PathId>> spawnIndex_;
+    sim::FlatMap<std::shared_ptr<const MicroThread>> routines_;
+    sim::FlatMap<std::vector<SpawnTarget>> spawnIndex_;
+    /** Routine count per spawn pc — the fetch-path filter. Empty
+     *  until setProgramSize(); rebuilt on restore(). */
+    std::vector<uint16_t> spawnAtPc_;
     uint64_t insertions_ = 0;
     uint64_t rejectedFull_ = 0;
     uint64_t removals_ = 0;
 
-    static const std::vector<PathId> kEmpty;
+    static const std::vector<SpawnTarget> kEmpty;
 
+    void indexSpawn(uint64_t pc, PathId id,
+                    const std::shared_ptr<const MicroThread> &thread);
     void unindex(const MicroThread &thread);
 };
 
@@ -96,3 +146,4 @@ class MicroRam
 } // namespace ssmt
 
 #endif // SSMT_CORE_MICRORAM_HH
+

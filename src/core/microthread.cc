@@ -116,6 +116,19 @@ executeMicroThread(const MicroThread &thread, isa::RegFile &regs,
     SSMT_PANIC("routine ended without Store_PCache");
 }
 
+/** Rebuild the derived predPositions index from ops. */
+static void
+indexPredPositions(MicroThread &thread)
+{
+    thread.predPositions.clear();
+    for (size_t i = 0; i < thread.ops.size(); i++) {
+        isa::Opcode op = thread.ops[i].inst.op;
+        if (op == isa::Opcode::VpInst || op == isa::Opcode::ApInst)
+            thread.predPositions.push_back(
+                static_cast<uint32_t>(i));
+    }
+}
+
 void
 analyzeMicroThread(MicroThread &thread)
 {
@@ -156,6 +169,7 @@ analyzeMicroThread(MicroThread &thread)
     for (int r = 0; r < isa::kNumRegs; r++)
         if (live_in[r])
             thread.liveIns.push_back(static_cast<isa::RegIndex>(r));
+    indexPredPositions(thread);
 }
 
 std::string
@@ -313,6 +327,7 @@ MicroThread::restore(sim::SnapshotReader &r)
     longestChain = static_cast<int>(r.i64("longestChain"));
     speculatesOnMemory = r.boolean("speculatesOnMemory");
     pruned = r.boolean("pruned");
+    indexPredPositions(*this);
 }
 
 static_assert(sim::SnapshotterLike<MicroOp>);
@@ -320,7 +335,7 @@ static_assert(sim::SnapshotterLike<ExpectedBranch>);
 static_assert(sim::SnapshotterLike<MicroThread>);
 SSMT_SNAPSHOT_PIN_LAYOUT(MicroOp, 6 * 8);
 SSMT_SNAPSHOT_PIN_LAYOUT(ExpectedBranch, 2 * 8);
-SSMT_SNAPSHOT_PIN_LAYOUT(MicroThread, 18 * 8);
+SSMT_SNAPSHOT_PIN_LAYOUT(MicroThread, 21 * 8);
 
 } // namespace core
 } // namespace ssmt

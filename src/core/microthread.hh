@@ -97,6 +97,12 @@ struct MicroThread
     /** True if pruning replaced at least one sub-tree. */
     bool pruned = false;
 
+    /** Indices into ops of the Vp_Inst/Ap_Inst placeholders, so the
+     *  spawn path can seed its prediction captures without scanning
+     *  every op of the routine. Derived state: analyzeMicroThread()
+     *  and restore() rebuild it, save() skips it. */
+    std::vector<uint32_t> predPositions;
+
     int size() const { return static_cast<int>(ops.size()); }
 
     /** Multi-line listing for debugging/examples. */
@@ -158,3 +164,4 @@ RoutineOutcome evalStorePCache(const MicroOp &op,
 } // namespace ssmt
 
 #endif // SSMT_CORE_MICROTHREAD_HH
+

@@ -1,5 +1,7 @@
 #include "core/path_cache.hh"
 
+#include <algorithm>
+
 #include "sim/snapshot.hh"
 
 #include "sim/logging.hh"
@@ -11,7 +13,7 @@ namespace core
 
 PathCache::PathCache(uint32_t num_entries, uint32_t assoc,
                      uint32_t training_interval, double threshold)
-    : entries_(num_entries), assoc_(assoc),
+    : entries_(num_entries), tags_(num_entries, 0), assoc_(assoc),
       trainingInterval_(training_interval), threshold_(threshold)
 {
     SSMT_ASSERT(num_entries % assoc == 0,
@@ -27,10 +29,14 @@ auto
 PathCache::findIn(Self &self, PathId id) -> decltype(self.find(id))
 {
     uint32_t set = static_cast<uint32_t>(id) & (self.numSets_ - 1);
-    auto *base = &self.entries_[static_cast<size_t>(set) *
-                                self.assoc_];
+    size_t base_idx = static_cast<size_t>(set) * self.assoc_;
+    // Probe the packed tag line; touch the full entries only on a
+    // candidate hit (and re-verify there, so tags need no separate
+    // valid bit).
+    const PathId *tags = &self.tags_[base_idx];
+    auto *base = &self.entries_[base_idx];
     for (uint32_t way = 0; way < self.assoc_; way++)
-        if (base[way].valid && base[way].id == id)
+        if (tags[way] == id && base[way].valid && base[way].id == id)
             return &base[way];
     return nullptr;
 }
@@ -84,6 +90,7 @@ PathCache::allocate(PathId id)
     *victim = Entry{};
     victim->valid = true;
     victim->id = id;
+    tags_[victim - entries_.data()] = id;
     return victim;
 }
 
@@ -222,6 +229,7 @@ PathCache::injectEvict(uint64_t rnd)
             if (entry.promoted)
                 evictedPromotions_.push_back(entry.id);
             entry = Entry{};
+            tags_[&entry - entries_.data()] = 0;
             return true;
         }
     }
@@ -233,6 +241,7 @@ PathCache::reset()
 {
     for (Entry &entry : entries_)
         entry = Entry{};
+    std::fill(tags_.begin(), tags_.end(), 0);
     stamp_ = 0;
     updates_ = allocations_ = allocationsSkipped_ = 0;
     evictions_ = difficultEvictions_ = 0;
@@ -296,6 +305,7 @@ PathCache::restore(sim::SnapshotReader &r)
         entries_[i].difficult = difficult[i] != 0;
         entries_[i].promoted = promoted[i] != 0;
         entries_[i].lastUse = last_use[i];
+        tags_[i] = entries_[i].id;
     }
     stamp_ = r.u64("stamp");
     updates_ = r.u64("updates");

@@ -15,49 +15,12 @@ PathTracker::PathTracker(int depth) : ring_(depth, 0), depth_(depth)
 }
 
 void
-PathTracker::push(uint64_t addr)
-{
-    ring_[head_] = addr;
-    head_ = (head_ + 1) % depth_;
-    pushes_++;
-}
-
-PathId
-PathTracker::pathId(int n) const
-{
-    SSMT_ASSERT(n <= depth_, "pathId(n) beyond tracker depth");
-    int have = size();
-    int use = n < have ? n : have;
-    PathId h = 0;
-    // Oldest-first over the last `use` entries.
-    for (int k = use - 1; k >= 0; k--)
-        h = hashStep(h, recent(k));
-    return h;
-}
-
-uint64_t
-PathTracker::recent(int k) const
-{
-    if (k >= size())
-        return 0;
-    int idx = (head_ + depth_ - 1 - k) % depth_;
-    return ring_[idx];
-}
-
-int
-PathTracker::size() const
-{
-    return pushes_ < static_cast<uint64_t>(depth_)
-               ? static_cast<int>(pushes_)
-               : depth_;
-}
-
-void
 PathTracker::reset()
 {
     std::fill(ring_.begin(), ring_.end(), 0);
     head_ = 0;
     pushes_ = 0;
+    cachedN_ = -1;
 }
 
 
@@ -77,9 +40,11 @@ PathTracker::restore(sim::SnapshotReader &r)
     ring_ = std::move(ring);
     head_ = static_cast<int>(r.u64("head"));
     pushes_ = r.u64("pushes");
+    cachedN_ = -1;
 }
 
 static_assert(sim::SnapshotterLike<PathTracker>);
 
 } // namespace core
 } // namespace ssmt
+

@@ -14,15 +14,6 @@ Prb::Prb(uint32_t capacity) : ring_(capacity)
     SSMT_ASSERT(capacity > 0, "PRB capacity must be positive");
 }
 
-void
-Prb::push(const PrbEntry &entry)
-{
-    ring_[head_] = entry;
-    head_ = (head_ + 1) % ring_.size();
-    if (size_ < ring_.size())
-        size_++;
-}
-
 const PrbEntry &
 Prb::at(uint32_t pos) const
 {
@@ -115,3 +106,4 @@ SSMT_SNAPSHOT_PIN_LAYOUT(PrbEntry, 11 * 8);
 
 } // namespace core
 } // namespace ssmt
+

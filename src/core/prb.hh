@@ -56,8 +56,31 @@ class Prb
   public:
     explicit Prb(uint32_t capacity = 512);
 
-    /** Append a retired instruction, evicting the oldest if full. */
-    void push(const PrbEntry &entry);
+    /** Append a retired instruction, evicting the oldest if full.
+     *  Header-inline: runs once per retired primary instruction. */
+    void
+    push(const PrbEntry &entry)
+    {
+        pushSlot() = entry;
+    }
+
+    /** Append and return the evicted slot for in-place filling —
+     *  the per-retirement fast path skips the stack-local copy. The
+     *  slot holds the evicted entry: the caller must assign every
+     *  field. */
+    PrbEntry &
+    pushSlot()
+    {
+        PrbEntry &slot = ring_[head_];
+        // Capacity is a runtime value, so wrap with a compare rather
+        // than a modulo on this per-retirement path.
+        head_++;
+        if (head_ == ring_.size())
+            head_ = 0;
+        if (size_ < ring_.size())
+            size_++;
+        return slot;
+    }
 
     /** Entries currently buffered. */
     uint32_t size() const { return size_; }
@@ -88,3 +111,4 @@ class Prb
 } // namespace ssmt
 
 #endif // SSMT_CORE_PRB_HH
+

@@ -100,6 +100,10 @@ PredictionCache::write(PathId id, uint64_t seq_num, bool taken,
         slot = oldest;
         evictions_++;
     }
+    if (!slot->valid)
+        liveCount_++;
+    if (seq_num < minLiveSeq_)
+        minLiveSeq_ = seq_num;
     slot->valid = true;
     slot->pathId = id;
     slot->seqNum = seq_num;
@@ -107,22 +111,6 @@ PredictionCache::write(PathId id, uint64_t seq_num, bool taken,
     slot->target = target;
     slot->writeCycle = cycle;
     slot->consumed = false;
-}
-
-const PredEntry *
-PredictionCache::lookup(PathId id, uint64_t seq_num) const
-{
-    lookups_++;
-    const PredEntry *base = setBase(id, seq_num);
-    for (uint32_t way = 0; way < assoc_; way++) {
-        const PredEntry &entry = base[way];
-        if (entry.valid && entry.pathId == id &&
-            entry.seqNum == seq_num) {
-            lookupHits_++;
-            return &entry;
-        }
-    }
-    return nullptr;
 }
 
 void
@@ -136,13 +124,22 @@ PredictionCache::markConsumed(PathId id, uint64_t seq_num)
 void
 PredictionCache::reclaimOlderThan(uint64_t seq_num)
 {
+    if (liveCount_ == 0 || seq_num <= minLiveSeq_)
+        return;
+    uint64_t new_min = ~0ull;
     for (PredEntry &entry : entries_) {
-        if (entry.valid && entry.seqNum < seq_num) {
+        if (!entry.valid)
+            continue;
+        if (entry.seqNum < seq_num) {
             if (!entry.consumed)
                 reclaimedUnconsumed_++;
             entry.valid = false;
+            liveCount_--;
+        } else if (entry.seqNum < new_min) {
+            new_min = entry.seqNum;
         }
     }
+    minLiveSeq_ = new_min;
 }
 
 bool
@@ -176,6 +173,7 @@ PredictionCache::injectDrop(uint64_t rnd)
             continue;
         if (victim-- == 0) {
             entry.valid = false;
+            liveCount_--;
             return true;
         }
     }
@@ -187,6 +185,8 @@ PredictionCache::clear()
 {
     for (PredEntry &entry : entries_)
         entry = PredEntry{};
+    liveCount_ = 0;
+    minLiveSeq_ = ~0ull;
 }
 
 
@@ -237,6 +237,8 @@ PredictionCache::restore(sim::SnapshotReader &r)
     r.requireSize("target", target.size(), entries_.size());
     r.requireSize("writeCycle", write_cycle.size(), entries_.size());
     r.requireSize("consumed", consumed.size(), entries_.size());
+    liveCount_ = 0;
+    minLiveSeq_ = ~0ull;
     for (size_t i = 0; i < entries_.size(); i++) {
         entries_[i].valid = valid[i] != 0;
         entries_[i].pathId = path_id[i];
@@ -245,6 +247,11 @@ PredictionCache::restore(sim::SnapshotReader &r)
         entries_[i].target = target[i];
         entries_[i].writeCycle = write_cycle[i];
         entries_[i].consumed = consumed[i] != 0;
+        if (entries_[i].valid) {
+            liveCount_++;
+            if (entries_[i].seqNum < minLiveSeq_)
+                minLiveSeq_ = entries_[i].seqNum;
+        }
     }
     lookups_ = r.u64("lookups");
     lookupHits_ = r.u64("lookupHits");
@@ -259,3 +266,4 @@ SSMT_SNAPSHOT_PIN_LAYOUT(PredEntry, 7 * 8);
 
 } // namespace core
 } // namespace ssmt
+

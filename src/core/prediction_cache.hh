@@ -62,8 +62,31 @@ class PredictionCache
     void write(PathId id, uint64_t seq_num, bool taken,
                uint64_t target, uint64_t cycle);
 
-    /** Front-end probe at branch fetch. @return entry or nullptr. */
-    const PredEntry *lookup(PathId id, uint64_t seq_num) const;
+    /** Front-end probe at branch fetch. @return entry or nullptr.
+     *  Header-inline: runs once per fetched terminating branch, and
+     *  the empty-cache outcome (all of warmup, and any stretch with
+     *  no microthread output in flight) must cost one compare, not a
+     *  hash and a set scan. The lookup counter still moves on that
+     *  fast path — it is architectural. */
+    const PredEntry *
+    lookup(PathId id, uint64_t seq_num) const
+    {
+        lookups_++;
+        if (liveCount_ == 0)
+            return nullptr;
+        const PredEntry *base =
+            &entries_[static_cast<size_t>(setIndex(id, seq_num)) *
+                      assoc_];
+        for (uint32_t way = 0; way < assoc_; way++) {
+            const PredEntry &entry = base[way];
+            if (entry.valid && entry.pathId == id &&
+                entry.seqNum == seq_num) {
+                lookupHits_++;
+                return &entry;
+            }
+        }
+        return nullptr;
+    }
 
     /** Mark an entry as consumed by a fetched branch. */
     void markConsumed(PathId id, uint64_t seq_num);
@@ -100,15 +123,7 @@ class PredictionCache
         return static_cast<uint32_t>(h) & (numSets_ - 1);
     }
 
-    uint32_t
-    occupancy() const
-    {
-        uint32_t n = 0;
-        for (const PredEntry &entry : entries_)
-            if (entry.valid)
-                n++;
-        return n;
-    }
+    uint32_t occupancy() const { return liveCount_; }
 
     void clear();
 
@@ -133,6 +148,20 @@ class PredictionCache
     std::vector<PredEntry> entries_;    ///< set-major: set * assoc_ + way
     uint32_t numSets_;
     uint32_t assoc_;
+    /** Valid-entry count, kept in step with every valid-bit
+     *  transition: it makes occupancy() O(1) and lets the retire
+     *  loop's periodic reclaimOlderThan() skip the table scan while
+     *  the cache is empty (all of baseline/oracle, and most of a
+     *  microthread run's warmup). */
+    uint32_t liveCount_ = 0;
+    /** Lower bound on the seqNum of any valid entry (~0 when none).
+     *  Predictions target branch instances ahead of retirement, so
+     *  almost every reclaimOlderThan(retired) call sits at or below
+     *  this bound and skips the table scan entirely. Insertions
+     *  tighten it; single-entry invalidations may leave it stale-low,
+     *  which only costs a scan, never a missed reclaim. Derived
+     *  state: restore() recomputes it. */
+    uint64_t minLiveSeq_ = ~0ull;
     mutable uint64_t lookups_ = 0;
     mutable uint64_t lookupHits_ = 0;
     uint64_t writes_ = 0;
@@ -149,3 +178,4 @@ class PredictionCache
 } // namespace ssmt
 
 #endif // SSMT_CORE_PREDICTION_CACHE_HH
+

@@ -9,51 +9,12 @@ namespace ssmt
 namespace core
 {
 
-bool
-prefixMatches(const MicroThread &thread, const PathTracker &tracker)
-{
-    // prefix is oldest-first; tracker.recent(0) is the most recent
-    // taken branch. The most recent prefix entry must be recent(0),
-    // the one before it recent(1), and so on.
-    size_t len = thread.prefix.size();
-    for (size_t i = 0; i < len; i++) {
-        const ExpectedBranch &expect = thread.prefix[len - 1 - i];
-        uint64_t addr = expect.pc * isa::kInstBytes;
-        if (tracker.recent(static_cast<int>(i)) != addr)
-            return false;
-    }
-    return true;
-}
-
 PathMatcher::PathMatcher(const MicroThread *thread)
     : thread_(thread),
       status_(!thread || thread->expected.empty() ? Status::Complete
                                                   : Status::Live)
 {
 }
-
-PathMatcher::Status
-PathMatcher::onControlFlow(uint64_t pc, bool taken, uint64_t target)
-{
-    if (status_ != Status::Live)
-        return status_;
-
-    const ExpectedBranch &expect = thread_->expected[index_];
-    if (taken) {
-        if (pc == expect.pc && target == expect.target) {
-            index_++;
-            if (index_ == thread_->expected.size())
-                status_ = Status::Complete;
-        } else {
-            status_ = Status::Deviated;
-        }
-    } else if (pc == expect.pc) {
-        // The path needed this branch taken.
-        status_ = Status::Deviated;
-    }
-    return status_;
-}
-
 
 void
 PathMatcher::save(sim::SnapshotWriter &w) const
@@ -75,3 +36,4 @@ static_assert(sim::SnapshotterLike<PathMatcher>);
 
 } // namespace core
 } // namespace ssmt
+

@@ -25,6 +25,7 @@
 
 #include "core/microthread.hh"
 #include "core/path_tracker.hh"
+#include "isa/inst.hh"
 
 namespace ssmt
 {
@@ -41,8 +42,25 @@ namespace core
  * front-end history in @p tracker. The prefix holds the path's taken
  * branches older than the spawn point, oldest first; they must be
  * exactly the most recent taken branches observed.
+ *
+ * Header-inline: runs for every routine indexed at every spawn-point
+ * pc the front end fetches.
  */
-bool prefixMatches(const MicroThread &thread, const PathTracker &tracker);
+inline bool
+prefixMatches(const MicroThread &thread, const PathTracker &tracker)
+{
+    // prefix is oldest-first; tracker.recent(0) is the most recent
+    // taken branch. The most recent prefix entry must be recent(0),
+    // the one before it recent(1), and so on.
+    size_t len = thread.prefix.size();
+    for (size_t i = 0; i < len; i++) {
+        const ExpectedBranch &expect = thread.prefix[len - 1 - i];
+        uint64_t addr = expect.pc * isa::kInstBytes;
+        if (tracker.recent(static_cast<int>(i)) != addr)
+            return false;
+    }
+    return true;
+}
 
 class PathMatcher
 {
@@ -58,9 +76,31 @@ class PathMatcher
 
     /**
      * Feed one fetched control-flow event from the primary thread.
+     * Header-inline: every live matcher sees every fetched
+     * control-flow change.
      * @return the matcher status after the event.
      */
-    Status onControlFlow(uint64_t pc, bool taken, uint64_t target);
+    Status
+    onControlFlow(uint64_t pc, bool taken, uint64_t target)
+    {
+        if (status_ != Status::Live)
+            return status_;
+
+        const ExpectedBranch &expect = thread_->expected[index_];
+        if (taken) {
+            if (pc == expect.pc && target == expect.target) {
+                index_++;
+                if (index_ == thread_->expected.size())
+                    status_ = Status::Complete;
+            } else {
+                status_ = Status::Deviated;
+            }
+        } else if (pc == expect.pc) {
+            // The path needed this branch taken.
+            status_ = Status::Deviated;
+        }
+        return status_;
+    }
 
     Status status() const { return status_; }
     size_t matched() const { return index_; }
@@ -78,3 +118,4 @@ class PathMatcher
 } // namespace ssmt
 
 #endif // SSMT_CORE_SPAWN_UNIT_HH
+

@@ -51,6 +51,7 @@ UthreadBuilder::build(const Prb &prb, PathId id, int n,
                       const vpred::ValuePredictor &ap)
 {
     stats_.requests++;
+    scratch_.reset();
     SSMT_ASSERT(prb.size() > 0, "build from an empty PRB");
     uint32_t branch_pos = prb.size() - 1;
     const PrbEntry &branch = prb.at(branch_pos);
@@ -60,7 +61,8 @@ UthreadBuilder::build(const Prb &prb, PathId id, int n,
     // Locate the n taken branches prior to the terminating branch.
     // path_pos[0] is the most recent prior taken branch; path_pos
     // ends with the oldest (branch "n", which delimits the scope).
-    std::vector<uint32_t> path_pos;
+    sim::ScratchVector<uint32_t> path_pos{
+        sim::ArenaAllocator<uint32_t>(scratch_)};
     path_pos.reserve(n);
     for (uint32_t pos = branch_pos; pos-- > 0 &&
              static_cast<int>(path_pos.size()) < n;) {
@@ -91,8 +93,12 @@ UthreadBuilder::build(const Prb &prb, PathId id, int n,
         if (reg != isa::kNoReg && reg != isa::kRegZero)
             needed.set(reg);
     };
-    std::vector<uint32_t> included;    // PRB positions, youngest first
-    std::vector<uint64_t> load_words;  // 8B-aligned included load addrs
+    // PRB positions, youngest first.
+    sim::ScratchVector<uint32_t> included{
+        sim::ArenaAllocator<uint32_t>(scratch_)};
+    // 8B-aligned included load addrs.
+    sim::ScratchVector<uint64_t> load_words{
+        sim::ArenaAllocator<uint64_t>(scratch_)};
 
     included.push_back(branch_pos);
     need(branch.inst.rs1);
@@ -214,7 +220,7 @@ UthreadBuilder::build(const Prb &prb, PathId id, int n,
     }
 
     // ---- MCB optimizations ----
-    optimize(thread, included, prb, spawn_pos, vp, ap);
+    optimize(thread, vp, ap);
 
     analyzeMicroThread(thread);
     if (const char *violation = validateMicroThread(thread))
@@ -232,8 +238,6 @@ UthreadBuilder::build(const Prb &prb, PathId id, int n,
 
 void
 UthreadBuilder::optimize(MicroThread &thread,
-                         const std::vector<uint32_t> &op_positions,
-                         const Prb &prb, uint32_t spawn_pos,
                          const vpred::ValuePredictor &vp,
                          const vpred::ValuePredictor &ap)
 {
@@ -242,7 +246,7 @@ UthreadBuilder::optimize(MicroThread &thread,
         eliminateDeadOps(thread);
     }
     if (config_.pruningEnabled) {
-        prune(thread, op_positions, prb, spawn_pos, vp, ap);
+        prune(thread, vp, ap);
         eliminateDeadOps(thread);
     }
 }
@@ -365,14 +369,9 @@ UthreadBuilder::propagateCopiesAndConstants(MicroThread &thread)
 
 void
 UthreadBuilder::prune(MicroThread &thread,
-                      const std::vector<uint32_t> &op_positions,
-                      const Prb &prb, uint32_t spawn_pos,
                       const vpred::ValuePredictor &vp,
                       const vpred::ValuePredictor &ap)
 {
-    (void)op_positions;
-    (void)prb;
-    (void)spawn_pos;
     (void)vp;
     (void)ap;
     // Pruning decisions use the confidence bits captured in the PRB
@@ -424,7 +423,8 @@ UthreadBuilder::eliminateDeadOps(MicroThread &thread)
             needed.set(reg);
     };
 
-    std::vector<MicroOp> kept;
+    sim::ScratchVector<MicroOp> kept{
+        sim::ArenaAllocator<MicroOp>(scratch_)};
     kept.reserve(thread.ops.size());
     for (size_t i = thread.ops.size(); i-- > 0;) {
         const MicroOp &op = thread.ops[i];
@@ -445,7 +445,7 @@ UthreadBuilder::eliminateDeadOps(MicroThread &thread)
         }
     }
     std::reverse(kept.begin(), kept.end());
-    thread.ops = std::move(kept);
+    thread.ops.assign(kept.begin(), kept.end());
 }
 
 

@@ -16,6 +16,7 @@
 
 #include "core/microthread.hh"
 #include "core/prb.hh"
+#include "sim/arena.hh"
 #include "vpred/value_predictor.hh"
 
 namespace ssmt
@@ -98,16 +99,16 @@ class UthreadBuilder
   private:
     BuilderConfig config_;
     BuildStats stats_;
+    /** Per-build scratch (slice positions, load fences, the
+     *  dead-op keep list): bump-allocated, rewound every build, so
+     *  steady-state construction stays off the heap. */
+    sim::Arena scratch_;
 
     void optimize(MicroThread &thread,
-                  const std::vector<uint32_t> &op_positions,
-                  const Prb &prb, uint32_t spawn_pos,
                   const vpred::ValuePredictor &vp,
                   const vpred::ValuePredictor &ap);
     void propagateCopiesAndConstants(MicroThread &thread);
     void prune(MicroThread &thread,
-               const std::vector<uint32_t> &op_positions,
-               const Prb &prb, uint32_t spawn_pos,
                const vpred::ValuePredictor &vp,
                const vpred::ValuePredictor &ap);
     void eliminateDeadOps(MicroThread &thread);
@@ -117,3 +118,4 @@ class UthreadBuilder
 } // namespace ssmt
 
 #endif // SSMT_CORE_UTHREAD_BUILDER_HH
+

@@ -19,26 +19,6 @@ FuPool::FuPool(int num_fus, uint32_t horizon)
     SSMT_ASSERT(num_fus > 0, "need at least one FU");
 }
 
-uint64_t
-FuPool::schedule(uint64_t earliest)
-{
-    uint64_t cycle = earliest;
-    for (;;) {
-        uint32_t slot = static_cast<uint32_t>(cycle) & mask_;
-        if (slotCycle_[slot] != cycle) {
-            slotCycle_[slot] = cycle;
-            used_[slot] = 0;
-        }
-        if (used_[slot] < numFus_) {
-            used_[slot]++;
-            granted_++;
-            return cycle;
-        }
-        cycle++;
-    }
-}
-
-
 void
 FuPool::save(sim::SnapshotWriter &w) const
 {
@@ -82,3 +62,4 @@ static_assert(sim::SnapshotterLike<FuPool>);
 
 } // namespace cpu
 } // namespace ssmt
+

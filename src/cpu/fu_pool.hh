@@ -34,9 +34,29 @@ class FuPool
 
     /**
      * Claim the first issue slot at or after @p earliest.
+     * In the header: every primary-thread instruction and every
+     * microthread op claims a slot (tens of millions of calls per
+     * run), and the loop almost always grants on its first probe.
      * @return the cycle the slot was granted.
      */
-    uint64_t schedule(uint64_t earliest);
+    uint64_t
+    schedule(uint64_t earliest)
+    {
+        uint64_t cycle = earliest;
+        for (;;) {
+            uint32_t slot = static_cast<uint32_t>(cycle) & mask_;
+            if (slotCycle_[slot] != cycle) {
+                slotCycle_[slot] = cycle;
+                used_[slot] = 0;
+            }
+            if (used_[slot] < numFus_) {
+                used_[slot]++;
+                granted_++;
+                return cycle;
+            }
+            cycle++;
+        }
+    }
 
     int numFus() const { return numFus_; }
     uint64_t slotsGranted() const { return granted_; }
@@ -56,3 +76,4 @@ class FuPool
 } // namespace ssmt
 
 #endif // SSMT_CPU_FU_POOL_HH
+

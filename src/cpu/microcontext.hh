@@ -87,3 +87,4 @@ struct Microcontext
 } // namespace ssmt
 
 #endif // SSMT_CPU_MICROCONTEXT_HH
+

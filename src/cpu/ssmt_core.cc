@@ -1,6 +1,7 @@
 #include "cpu/ssmt_core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/golden.hh"
 #include "sim/logging.hh"
@@ -19,11 +20,16 @@ pathAddr(uint64_t pc)
     return pc * isa::kInstBytes;
 }
 
-/** Canonical (sorted) order for serializing an unordered id set. */
+/** Canonical (sorted) key order for serializing a keyed container
+ *  (anything exposing size() and forEach(fn(key, value))). */
+template <typename M>
 std::vector<uint64_t>
-sortedIds(const std::unordered_set<core::PathId> &set)
+sortedKeys(const M &map)
 {
-    std::vector<uint64_t> out(set.begin(), set.end());
+    std::vector<uint64_t> out;
+    out.reserve(map.size());
+    map.forEach(
+        [&](uint64_t key, const auto &) { out.push_back(key); });
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -62,11 +68,14 @@ SsmtCore::SsmtCore(const isa::Program &prog,
                         config.staticDifficultHints.end());
 
     // Pre-size the per-cycle structures so the simulation loop's
-    // steady state never touches the allocator: the in-flight branch
-    // map is bounded by the window, as is the micro-completion heap.
+    // steady state never touches the allocator: the window ring, the
+    // in-flight branch map and the micro-completion heap are all
+    // bounded by windowSize.
+    rob_.resetCapacity(static_cast<size_t>(config.windowSize));
     inflight_.reserve(static_cast<size_t>(config.windowSize));
     evictScratch_.reserve(16);
     microEvents_.reserve(static_cast<size_t>(config.windowSize));
+    microRam_.setProgramSize(prog_.size());
 }
 
 bool
@@ -89,6 +98,7 @@ SsmtCore::run()
 {
     while (!done() && cycle_ < cfg_.maxCycles &&
            stats_.retiredInsts < cfg_.maxInsts) {
+        fastForward(cfg_.maxCycles);
         tick();
     }
     finalizeStats();
@@ -96,17 +106,93 @@ SsmtCore::run()
 }
 
 void
+SsmtCore::fastForward(uint64_t stop)
+{
+    if (faults_.enabled())
+        return;     // fault plans roll dice every cycle
+    uint64_t next = cycle_ + 1;     // where the next tick() lands
+    if (next >= stop)
+        return;
+    bool window_full = windowOccupancy() >=
+                       static_cast<uint64_t>(cfg_.windowSize);
+    // Fetch progressing next cycle is the common case: no skip.
+    if (!halted_ && !window_full && fetchResumeCycle_ <= next)
+        return;
+
+    uint64_t target = stop;
+    auto consider = [&](uint64_t c) {
+        if (c < target)
+            target = c;
+    };
+    if (!microEvents_.empty())
+        consider(microEvents_.nextCycle());
+    if (builderBusy_)
+        consider(builderReadyCycle_);
+    if (!rob_.empty())
+        consider(rob_.front().completeCycle);
+    if (!halted_ && !window_full)
+        consider(fetchResumeCycle_);
+    if (microthreadsActive() && !window_full &&
+        dispatchableCtx_ > 0) {
+        // A context with ops left dispatches as soon as it is
+        // eligible (the window has room and fetch leaves it slots —
+        // fetch is stalled on every skipped cycle). Fault plans are
+        // the only writer of dispatchEligibleCycle, and they disable
+        // fast-forwarding above, so eligibility here is immediate.
+        consider(next);
+    }
+    if (cfg_.sampleInterval > 0) {
+        consider((cycle_ / cfg_.sampleInterval + 1) *
+                 cfg_.sampleInterval);
+    }
+    if (target <= next)
+        return;
+
+    // Cycles [next, target) tick as pure bubbles: fetch is stalled,
+    // nothing completes, retires, builds, dispatches or samples.
+    // Apply their aggregate accounting and jump the clock.
+    uint64_t skipped = target - next;
+    cycle_ = target - 1;
+    stats_.cycles = cycle_;
+    if (!halted_)
+        stats_.fetchBubbleCycles += skipped;
+    if (microthreadsActive() && !contexts_.empty()) {
+        // tick() rotates the dispatch fairness pointer once per
+        // cycle microthreads are live with free slots.
+        rrStart_ = static_cast<uint32_t>(
+            (rrStart_ + skipped) % contexts_.size());
+    }
+}
+
+void
 SsmtCore::tick()
 {
     cycle_++;
-    processMicroEvents();
-    maybeFinishBuild();
-    retire();
+    // Each stage call is guarded by the exact condition its body
+    // would first test: on quiescent structures the stage is a
+    // no-op, and the model runs millions of such cycles per run.
+    if (!microEvents_.empty() && microEvents_.nextCycle() <= cycle_)
+        processMicroEvents();
+    if (builderBusy_ && cycle_ >= builderReadyCycle_)
+        maybeFinishBuild();
+    if (!rob_.empty() && rob_.front().completeCycle <= cycle_)
+        retire();
     if (faults_.enabled())
         injectFaults();
     int fetched = fetch();
-    if (microthreadsActive())
-        dispatchMicrothreads(cfg_.fetchWidth - fetched);
+    if (microthreadsActive()) {
+        int slots = cfg_.fetchWidth - fetched;
+        if (slots > 0 && !contexts_.empty()) {
+            // Rotate the dispatch fairness pointer each cycle the
+            // dispatcher would have been entered with free slots. n
+            // is a runtime value, so wrap with a compare, not a
+            // modulo.
+            uint32_t n = static_cast<uint32_t>(contexts_.size());
+            rrStart_ = rrStart_ + 1 == n ? 0 : rrStart_ + 1;
+            if (dispatchableCtx_ != 0)
+                dispatchMicrothreads(slots);
+        }
+    }
     if (fetched == 0 && !halted_)
         stats_.fetchBubbleCycles++;
     stats_.cycles = cycle_;
@@ -129,17 +215,27 @@ SsmtCore::fetch()
     int branches = 0;
     int lines = 0;
     uint64_t cur_line = ~0ull;
+    // lineBytes is power-of-two (enforced by the Cache constructor),
+    // so line identity is a mask, not a divide, per fetched inst.
+    const uint64_t line_mask =
+        ~(static_cast<uint64_t>(cfg_.mem.lineBytes) - 1);
+    // Track occupancy locally: only this loop's own pushes change it
+    // while fetch runs, so the per-instruction limit check does not
+    // need to re-read the window structures.
+    uint64_t occupancy = windowOccupancy();
+    // Mode predicates are pure functions of cfg_.mode (constant for
+    // the run); hoisted so the calls below don't force a reload of
+    // cfg_ per instruction.
+    const bool micro_active = microthreadsActive();
 
     while (fetched < cfg_.fetchWidth) {
-        if (windowOccupancy() >=
-            static_cast<uint64_t>(cfg_.windowSize)) {
+        if (occupancy >= static_cast<uint64_t>(cfg_.windowSize))
             break;
-        }
         SSMT_ASSERT(fetchPc_ < prog_.size(), "fetch pc out of range");
         const isa::Inst &inst = prog_.inst(fetchPc_);
 
         // I-cache bandwidth and misses.
-        uint64_t line = pathAddr(fetchPc_) / cfg_.mem.lineBytes;
+        uint64_t line = pathAddr(fetchPc_) & line_mask;
         if (line != cur_line) {
             if (lines >= cfg_.maxICacheLinesPerCycle)
                 break;
@@ -161,8 +257,13 @@ SsmtCore::fetch()
         uint64_t seq = nextSeq_++;
 
         // Spawn attempts fire when a spawn-point pc is fetched, with
-        // the architectural state as of all older instructions.
-        if (microthreadsActive())
+        // the architectural state as of all older instructions. The
+        // routinesAt() probe is hoisted here so the (overwhelmingly
+        // common) no-routine case skips the call entirely; it is a
+        // pure lookup, and no spawn counter moves before a routine id
+        // is found, so the reorder past the suppress-window check in
+        // attemptSpawns() is architecturally invisible.
+        if (micro_active && !microRam_.routinesAt(pc).empty())
             attemptSpawns(pc, seq);
 
         // Functional execution (execute-at-fetch).
@@ -174,7 +275,7 @@ SsmtCore::fetch()
         // anchoring queries at the spawn point is the equivalent,
         // exactly-reconciled formulation in an execute-at-fetch
         // model (DESIGN.md Section 4).
-        if (microthreadsActive()) {
+        if (micro_active) {
             if (res.regWrite)
                 vpred_.train(pc, res.value);
             if (res.isLoad)
@@ -217,7 +318,9 @@ SsmtCore::fetch()
             lastWriterSeq_[inst.rd] = seq;
         }
 
-        RobEntry entry;
+        // Fill the window slot in place (emplace_back: every field
+        // read downstream is assigned here).
+        RobEntry &entry = rob_.emplace_back();
         entry.seq = seq;
         entry.pc = pc;
         entry.inst = inst;
@@ -229,8 +332,8 @@ SsmtCore::fetch()
         entry.srcSeq[0] = producer_seq[0];
         entry.srcSeq[1] = producer_seq[1];
         entry.isTerm = inst.isTerminatingBranch();
-        rob_.push_back(entry);
         fetched++;
+        occupancy++;
         trace_.record(cycle_, TraceEvent::Fetch, pc, seq);
 
         if (res.halted) {
@@ -310,12 +413,12 @@ SsmtCore::fetch()
             br.usedTarget = used_target;
             br.hwCorrect = hw.correct;
             br.usedCorrectAtFetch = used_correct;
-            inflight_.emplace(seq, br);
+            inflight_.insert(seq, br);
         }
 
         if (res.taken)
             tracker_.push(pathAddr(pc));
-        if (microthreadsActive())
+        if (micro_active)
             feedMatchers(pc, res.taken, res.target);
 
         fetchPc_ = res.nextPc;
@@ -340,25 +443,26 @@ void
 SsmtCore::retire()
 {
     int retired = 0;
+    // Pure functions of cfg_.mode, hoisted so the opaque calls in the
+    // loop body don't force a per-instruction reload of cfg_.
+    const bool micro_active = microthreadsActive();
+    const bool mech_active = mechanismActive();
     while (!rob_.empty() && retired < cfg_.fetchWidth &&
            rob_.front().completeCycle <= cycle_) {
-        RobEntry entry = rob_.front();
-        rob_.pop_front();
+        // Read the head in place; nothing below pushes to the window
+        // (fetch runs later in the tick), so the reference stays
+        // valid until the pop at the bottom of this iteration.
+        const RobEntry &entry = rob_.front();
         retired++;
         stats_.retiredInsts++;
         lastRetiredSeq_ = entry.seq;
         trace_.record(cycle_, TraceEvent::Retire, entry.pc,
                       entry.seq);
 
-        bool vp_conf = false;
-        bool ap_conf = false;
-        if (microthreadsActive()) {
-            if (entry.inst.writesReg())
-                vp_conf = vpred_.confident(entry.pc);
-            if (entry.inst.isLoad())
-                ap_conf = apred_.confident(entry.pc);
-
-            core::PrbEntry prb_entry;
+        if (micro_active) {
+            // Fill the evicted PRB slot in place (pushSlot: every
+            // field is assigned).
+            core::PrbEntry &prb_entry = prb_.pushSlot();
             prb_entry.seq = entry.seq;
             prb_entry.pc = entry.pc;
             prb_entry.inst = entry.inst;
@@ -368,22 +472,23 @@ SsmtCore::retire()
             prb_entry.target = entry.target;
             prb_entry.srcSeq[0] = entry.srcSeq[0];
             prb_entry.srcSeq[1] = entry.srcSeq[1];
-            prb_entry.vpConfident = vp_conf;
-            prb_entry.apConfident = ap_conf;
-            prb_.push(prb_entry);
+            prb_entry.vpConfident = entry.inst.writesReg() &&
+                                    vpred_.confident(entry.pc);
+            prb_entry.apConfident = entry.inst.isLoad() &&
+                                    apred_.confident(entry.pc);
         }
 
         if (entry.isTerm) {
-            auto it = inflight_.find(entry.seq);
-            SSMT_ASSERT(it != inflight_.end(),
+            InFlightBranch br;
+            bool found = inflight_.take(entry.seq, br);
+            SSMT_ASSERT(found,
                         "terminating branch missing from in-flight map");
-            InFlightBranch br = it->second;
-            inflight_.erase(it);
+            (void)found;
 
             if (!br.usedCorrectAtFetch)
                 stats_.usedMispredicts++;
 
-            if (mechanismActive()) {
+            if (mech_active) {
                 core::PathEvent event =
                     pathCache_.update(br.pathId, !br.hwCorrect);
                 if (event == core::PathEvent::None &&
@@ -417,6 +522,7 @@ SsmtCore::retire()
             }
         }
 
+        rob_.pop_front();
         if ((stats_.retiredInsts & 63) == 0)
             pcache_.reclaimOlderThan(lastRetiredSeq_);
     }
@@ -597,54 +703,109 @@ SsmtCore::attemptSpawns(uint64_t pc, uint64_t seq)
     // unit, so none of the spawn-conservation counters move.
     if (cycle_ < spawnSuppressUntil_)
         return;
-    const std::vector<core::PathId> &ids = microRam_.routinesAt(pc);
+    const std::vector<core::SpawnTarget> &ids =
+        microRam_.routinesAt(pc);
     if (ids.empty())
         return;
-    for (core::PathId id : ids) {
-        // Raw lookup first: most attempts abort before allocation
-        // (the paper's 67%), so the shared handle's refcount traffic
-        // is deferred to the successful-spawn path.
-        const core::MicroThread *probe = microRam_.find(id);
-        if (!probe)
-            continue;
+    // The spawn index and the routine store move in lockstep, so at
+    // loop entry every target's raw routine pointer is live and a
+    // store probe would always succeed. That only breaks when a
+    // demotion fires *mid-loop* (noteSpawn() -> throttle -> demote()
+    // mutates this very vector under the iteration), and demotions
+    // are the only mutation reachable from here — so one removals()
+    // compare per target stands in for the per-attempt hash probe,
+    // and the probe (whose failure must exit before any counter
+    // moves — spawn conservation) only runs once a demotion has
+    // actually made the entry suspect.
+    const uint64_t removals0 = microRam_.removals();
+    // The tracker doesn't move inside the loop, so the newest prefix
+    // branch every target compares against is loop-invariant.
+    const uint64_t newest_branch = tracker_.recent(0);
+    for (const core::SpawnTarget &target : ids) {
+        core::PathId id = target.id;
+        const core::MicroThread *probe = target.thread.get();
+        if (microRam_.removals() != removals0) {
+            probe = microRam_.find(id);
+            if (!probe)
+                continue;
+        }
         stats_.spawnAttempts++;
-        if (!core::prefixMatches(*probe, tracker_)) {
+        // The newest prefix branch is denormalized into the index
+        // entry, so the dominant first-comparison mismatch (the
+        // paper's 67% prefix-abort rate) never touches the
+        // routine's prefix vector (same comparison prefixMatches()
+        // makes first).
+        if ((target.prefixLen > 0 &&
+             newest_branch != target.lastPrefixAddr) ||
+            !core::prefixMatches(*probe, tracker_)) {
             stats_.spawnAbortPrefix++;
             trace_.record(cycle_, TraceEvent::SpawnAbortPrefix, pc,
                           seq, id);
             continue;
         }
         Microcontext *free_ctx = nullptr;
-        for (Microcontext &ctx : contexts_) {
-            if (!ctx.active) {
-                free_ctx = &ctx;
-                break;
+        // liveCtx_ answers "all busy" in O(1); the scan only runs
+        // when a free context actually exists. All-busy is the
+        // dominant outcome (golden: 5.7M of 11.3M attempts).
+        if (liveCtx_ < contexts_.size()) {
+            for (Microcontext &ctx : contexts_) {
+                if (!ctx.active) {
+                    free_ctx = &ctx;
+                    break;
+                }
             }
         }
         if (!free_ctx) {
             stats_.spawnNoContext++;
             continue;
         }
+        // The index entry owns a handle aliasing the routine store,
+        // so the spawn adopts it without re-probing the store. After
+        // a mid-loop demotion the re-validated raw pointer is
+        // authoritative (it always aliases target.thread: demotions
+        // only remove entries, and rebuilds re-index).
         std::shared_ptr<const core::MicroThread> thread =
-            microRam_.findShared(id);
+            probe == target.thread.get() ? target.thread
+                                         : microRam_.findShared(id);
         if (!thread)
             continue;
         free_ctx->active = true;
+        liveCtx_++;
+        if (!thread->ops.empty())
+            dispatchableCtx_++;
         free_ctx->thread = thread;
         free_ctx->matcher = core::PathMatcher(thread.get());
-        free_ctx->regs = regs_;
-        free_ctx->regReady = regReady_;
+        if (free_ctx->matcher.status() ==
+            core::PathMatcher::Status::Live) {
+            liveMatchers_++;
+            size_t idx =
+                static_cast<size_t>(free_ctx - contexts_.data());
+            if (idx < 64)
+                liveMatcherMask_ |= 1ull << idx;
+        }
+        // Seed only the live-in registers (and their readiness):
+        // every other architectural register is, by the live-in
+        // analysis, written by the routine before any read, so the
+        // two 256-byte bulk copies the spawn used to pay collapse to
+        // a few lane moves. Untouched slots keep deterministic
+        // leftovers from the context's previous occupant, which no
+        // dispatch-path reader ever sees.
+        for (isa::RegIndex reg : thread->liveIns) {
+            free_ctx->regs.write(reg, regs_.read(reg));
+            free_ctx->regReady[reg] = regReady_[reg];
+        }
         // Capture pruning predictions now, anchored at the spawn.
+        // Zero-fill the whole vector (checkpoints serialize it, so
+        // stale slots from a previous occupant must not leak), then
+        // seed only the precomputed Vp/Ap positions instead of
+        // scanning every op of the routine.
         free_ctx->predictedValues.assign(thread->ops.size(), 0);
-        for (size_t i = 0; i < thread->ops.size(); i++) {
-            const core::MicroOp &op = thread->ops[i];
-            if (op.inst.op == isa::Opcode::VpInst) {
-                free_ctx->predictedValues[i] =
-                    vpred_.predict(op.origPc, op.ahead);
-            } else if (op.inst.op == isa::Opcode::ApInst) {
-                free_ctx->predictedValues[i] =
-                    apred_.predict(op.origPc, op.ahead);
-            }
+        for (uint32_t pos : thread->predPositions) {
+            const core::MicroOp &op = thread->ops[pos];
+            free_ctx->predictedValues[pos] =
+                op.inst.op == isa::Opcode::VpInst
+                    ? vpred_.predict(op.origPc, op.ahead)
+                    : apred_.predict(op.origPc, op.ahead);
         }
         free_ctx->nextOp = 0;
         free_ctx->opsInFlight = 0;
@@ -694,20 +855,43 @@ SsmtCore::noteUsefulPrediction(core::PathId id)
 {
     if (!cfg_.throttleEnabled)
         return;
-    auto it = feedback_.find(id);
-    if (it != feedback_.end())
-        it->second.useful++;
+    if (RoutineFeedback *fb = feedback_.find(id))
+        fb->useful++;
 }
 
 void
 SsmtCore::feedMatchers(uint64_t pc, bool taken, uint64_t target)
 {
+    if (liveMatchers_ == 0)
+        return;
+    if (contexts_.size() <= 64) {
+        // Walk only the contexts whose matcher is Live — the mask
+        // iterates in ascending index order, the same order the full
+        // scan visits them.
+        uint64_t mask = liveMatcherMask_;
+        while (mask != 0) {
+            uint32_t idx =
+                static_cast<uint32_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+            Microcontext &ctx = contexts_[idx];
+            auto status = ctx.matcher.onControlFlow(pc, taken, target);
+            if (status != core::PathMatcher::Status::Live) {
+                liveMatchers_--;
+                liveMatcherMask_ &= ~(1ull << idx);
+            }
+            if (status == core::PathMatcher::Status::Deviated)
+                abortContext(ctx);
+        }
+        return;
+    }
     for (Microcontext &ctx : contexts_) {
         if (!ctx.active || ctx.aborted)
             continue;
         if (ctx.matcher.status() != core::PathMatcher::Status::Live)
             continue;
         auto status = ctx.matcher.onControlFlow(pc, taken, target);
+        if (status != core::PathMatcher::Status::Live)
+            liveMatchers_--;
         if (status == core::PathMatcher::Status::Deviated)
             abortContext(ctx);
     }
@@ -716,14 +900,26 @@ SsmtCore::feedMatchers(uint64_t pc, bool taken, uint64_t target)
 void
 SsmtCore::abortContext(Microcontext &ctx)
 {
+    if (ctx.active && !ctx.aborted && ctx.thread &&
+        ctx.nextOp < ctx.thread->ops.size())
+        dispatchableCtx_--;
+    if (ctx.active && !ctx.aborted &&
+        ctx.matcher.status() == core::PathMatcher::Status::Live) {
+        liveMatchers_--;
+        size_t idx = static_cast<size_t>(&ctx - contexts_.data());
+        if (idx < 64)
+            liveMatcherMask_ &= ~(1ull << idx);
+    }
     // Ops already in the window cannot be aborted; they drain.
     ctx.aborted = true;
     stats_.abortsPostSpawn++;
     trace_.record(cycle_, TraceEvent::ThreadAbort, 0, ctx.spawnSeq,
                   ctx.thread ? ctx.thread->pathId : 0,
                   static_cast<uint32_t>(&ctx - contexts_.data()));
-    if (ctx.drained())
+    if (ctx.drained()) {
         ctx.reset();
+        liveCtx_--;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -733,22 +929,29 @@ SsmtCore::abortContext(Microcontext &ctx)
 void
 SsmtCore::dispatchMicrothreads(int slots)
 {
-    if (slots <= 0 || contexts_.empty())
-        return;
+    // Preconditions (tick() owns the guards and the fairness
+    // rotation): slots > 0, contexts exist, dispatchableCtx_ > 0.
     uint32_t n = static_cast<uint32_t>(contexts_.size());
-    // Rotate the starting context each cycle for fairness.
-    rrStart_ = (rrStart_ + 1) % n;
+    // Track occupancy locally: only this loop's own pushes change it
+    // while dispatch runs (fetch already ran this cycle).
+    uint64_t occupancy = windowOccupancy();
     for (uint32_t i = 0; i < n && slots > 0; i++) {
-        Microcontext &ctx = contexts_[(rrStart_ + i) % n];
+        uint32_t slot = rrStart_ + i;
+        if (slot >= n)
+            slot -= n;
+        Microcontext &ctx = contexts_[slot];
         if (cycle_ < ctx.dispatchEligibleCycle)
             continue;
-        while (slots > 0 && ctx.active && !ctx.aborted &&
-               ctx.thread && ctx.nextOp < ctx.thread->ops.size()) {
-            if (windowOccupancy() >=
-                static_cast<uint64_t>(cfg_.windowSize)) {
+        // Nothing in the dispatch body flips these flags or swaps
+        // the routine, so hoist them (and the shared-handle deref)
+        // out of the per-op loop.
+        if (!ctx.active || ctx.aborted || !ctx.thread)
+            continue;
+        const std::vector<core::MicroOp> &ops = ctx.thread->ops;
+        while (slots > 0 && ctx.nextOp < ops.size()) {
+            if (occupancy >= static_cast<uint64_t>(cfg_.windowSize))
                 return;
-            }
-            const core::MicroOp &op = ctx.thread->ops[ctx.nextOp];
+            const core::MicroOp &op = ops[ctx.nextOp];
             const isa::Inst &inst = op.inst;
 
             uint64_t src_ready = 0;
@@ -811,12 +1014,13 @@ SsmtCore::dispatchMicrothreads(int slots)
                 ctx.regReady[inst.rd] = complete;
 
             event.cycle = complete;
-            microEvents_.push_back(event);
-            std::push_heap(microEvents_.begin(), microEvents_.end(),
-                           std::greater<MicroCompletion>{});
+            microEvents_.push(event);
             ctx.opsInFlight++;
             microOpsInWindow_++;
+            occupancy++;
             ctx.nextOp++;
+            if (ctx.nextOp == ops.size())
+                dispatchableCtx_--;
             stats_.microOpsExecuted++;
             slots--;
         }
@@ -826,20 +1030,19 @@ SsmtCore::dispatchMicrothreads(int slots)
 void
 SsmtCore::processMicroEvents()
 {
-    while (!microEvents_.empty() &&
-           microEvents_.front().cycle <= cycle_) {
-        MicroCompletion event = microEvents_.front();
-        std::pop_heap(microEvents_.begin(), microEvents_.end(),
-                      std::greater<MicroCompletion>{});
-        microEvents_.pop_back();
+    // Drain in place: nothing below pushes to the heap, so the
+    // peeked payload stays valid and each event avoids the 48-byte
+    // copy a pop-into-local would pay.
+    while (const MicroCompletion *event =
+               microEvents_.peekReady(cycle_)) {
         microOpsInWindow_--;
-        Microcontext &ctx = contexts_[event.ctx];
+        Microcontext &ctx = contexts_[event->ctx];
         SSMT_ASSERT(ctx.opsInFlight > 0,
                     "micro completion for an idle context");
         ctx.opsInFlight--;
 
-        if (event.isStPCache && predictionsUsable())
-            handleStPCacheArrival(event);
+        if (event->isStPCache && predictionsUsable())
+            handleStPCacheArrival(*event);
 
         if (ctx.active && ctx.drained()) {
             if (!ctx.aborted) {
@@ -847,19 +1050,28 @@ SsmtCore::processMicroEvents()
                 trace_.record(cycle_, TraceEvent::ThreadComplete, 0,
                               ctx.spawnSeq,
                               ctx.thread ? ctx.thread->pathId : 0,
-                              event.ctx);
+                              event->ctx);
+            }
+            if (!ctx.aborted &&
+                ctx.matcher.status() ==
+                    core::PathMatcher::Status::Live) {
+                liveMatchers_--;
+                if (event->ctx < 64)
+                    liveMatcherMask_ &= ~(1ull << event->ctx);
             }
             ctx.reset();
+            liveCtx_--;
         }
+        microEvents_.popFront();
     }
 }
 
 void
 SsmtCore::handleStPCacheArrival(const MicroCompletion &event)
 {
-    auto it = inflight_.find(event.targetSeq);
-    if (it != inflight_.end() && it->second.pathId == event.pathId) {
-        InFlightBranch &br = it->second;
+    InFlightBranch *found = inflight_.find(event.targetSeq);
+    if (found && found->pathId == event.pathId) {
+        InFlightBranch &br = *found;
         bool micro_correct =
             predMatches(event.taken, event.target, br.actualTaken,
                         br.actualTarget);
@@ -1057,7 +1269,8 @@ SsmtCore::save(sim::SnapshotWriter &w) const
                lastWriterSeq_.size());
 
     w.beginArray("rob");
-    for (const RobEntry &e : rob_) {
+    for (size_t i = 0; i < rob_.size(); i++) {
+        const RobEntry &e = rob_.at(i);
         w.beginObject();
         w.u64("seq", e.seq);
         w.u64("pc", e.pc);
@@ -1076,14 +1289,10 @@ SsmtCore::save(sim::SnapshotWriter &w) const
     }
     w.endArray();
 
-    std::vector<uint64_t> seqs;
-    seqs.reserve(inflight_.size());
-    for (const auto &entry : inflight_)
-        seqs.push_back(entry.first);
-    std::sort(seqs.begin(), seqs.end());
+    std::vector<uint64_t> seqs = sortedKeys(inflight_);
     w.beginArray("inflight");
     for (uint64_t seq : seqs) {
-        const InFlightBranch &br = inflight_.at(seq);
+        const InFlightBranch &br = *inflight_.find(seq);
         w.beginObject();
         w.u64("seq", seq);
         w.u64("pathId", br.pathId);
@@ -1108,11 +1317,11 @@ SsmtCore::save(sim::SnapshotWriter &w) const
         w.endObject();
     }
     w.endArray();
-    // The heap's backing array verbatim: push_heap/pop_heap order is
-    // deterministic, so restoring the same array reproduces the same
-    // future pop sequence without re-heapifying.
+    // The heap's backing-array order verbatim: push_heap/pop_heap
+    // order is deterministic, so restoring the same array reproduces
+    // the same future pop sequence without re-heapifying.
     w.beginArray("microEvents");
-    for (const MicroCompletion &e : microEvents_) {
+    microEvents_.forEachInOrder([&](const MicroCompletion &e) {
         w.beginObject();
         w.u64("cycle", e.cycle);
         w.u64("ctx", e.ctx);
@@ -1122,7 +1331,7 @@ SsmtCore::save(sim::SnapshotWriter &w) const
         w.boolean("taken", e.taken);
         w.u64("target", e.target);
         w.endObject();
-    }
+    });
     w.endArray();
     w.u64("microOpsInWindow", microOpsInWindow_);
     w.u64("rrStart", rrStart_);
@@ -1137,16 +1346,12 @@ SsmtCore::save(sim::SnapshotWriter &w) const
     }
 
     // ---- Promotion bookkeeping ----
-    w.u64Array("oraclePromoted", sortedIds(oraclePromoted_));
-    w.u64Array("suppressed", sortedIds(suppressed_));
-    std::vector<uint64_t> fbIds;
-    fbIds.reserve(feedback_.size());
-    for (const auto &entry : feedback_)
-        fbIds.push_back(entry.first);
-    std::sort(fbIds.begin(), fbIds.end());
+    w.u64Array("oraclePromoted", oraclePromoted_.sorted());
+    w.u64Array("suppressed", suppressed_.sorted());
+    std::vector<uint64_t> fbIds = sortedKeys(feedback_);
     w.beginArray("feedback");
     for (uint64_t id : fbIds) {
-        const RoutineFeedback &fb = feedback_.at(id);
+        const RoutineFeedback &fb = *feedback_.find(id);
         w.beginObject();
         w.u64("id", id);
         w.u64("spawns", fb.spawns);
@@ -1264,7 +1469,7 @@ SsmtCore::restore(sim::SnapshotReader &r)
         br.usedCorrectAtFetch = r.boolean("usedCorrectAtFetch");
         br.microPredWrongConsumed =
             r.boolean("microPredWrongConsumed");
-        inflight_.emplace(seq, br);
+        inflight_.insert(seq, br);
         r.leave();
     }
     r.leave();
@@ -1277,6 +1482,25 @@ SsmtCore::restore(sim::SnapshotReader &r)
         r.leave();
     }
     r.leave();
+    liveCtx_ = 0;
+    dispatchableCtx_ = 0;
+    liveMatchers_ = 0;
+    liveMatcherMask_ = 0;
+    for (const Microcontext &ctx : contexts_) {
+        if (ctx.active)
+            liveCtx_++;
+        if (ctx.active && !ctx.aborted && ctx.thread &&
+            ctx.nextOp < ctx.thread->ops.size())
+            dispatchableCtx_++;
+        if (ctx.active && !ctx.aborted &&
+            ctx.matcher.status() == core::PathMatcher::Status::Live) {
+            liveMatchers_++;
+            size_t idx =
+                static_cast<size_t>(&ctx - contexts_.data());
+            if (idx < 64)
+                liveMatcherMask_ |= 1ull << idx;
+        }
+    }
 
     microEvents_.clear();
     n = r.enterArray("microEvents");
@@ -1290,7 +1514,7 @@ SsmtCore::restore(sim::SnapshotReader &r)
         e.targetSeq = r.u64("targetSeq");
         e.taken = r.boolean("taken");
         e.target = r.u64("target");
-        microEvents_.push_back(e);
+        microEvents_.appendVerbatim(e);
         r.leave();
     }
     r.leave();
@@ -1320,7 +1544,7 @@ SsmtCore::restore(sim::SnapshotReader &r)
         uint64_t id = r.u64("id");
         fb.spawns = r.u64("spawns");
         fb.useful = r.u64("useful");
-        feedback_.emplace(id, fb);
+        feedback_.insert(id, fb);
         r.leave();
     }
     r.leave();
@@ -1379,7 +1603,8 @@ SsmtCore::restore(sim::SnapshotReader &r)
 }
 
 static_assert(sim::SnapshotterLike<SsmtCore>);
-SSMT_SNAPSHOT_PIN_LAYOUT(SsmtCore, 3952);
+SSMT_SNAPSHOT_PIN_LAYOUT(SsmtCore, 4056);
 
 } // namespace cpu
 } // namespace ssmt
+

@@ -20,9 +20,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "bpred/frontend_predictor.hh"
@@ -38,7 +35,9 @@
 #include "isa/executor.hh"
 #include "isa/program.hh"
 #include "memory/hierarchy.hh"
+#include "sim/event_queue.hh"
 #include "sim/faultinject.hh"
+#include "sim/flat_hash.hh"
 #include "sim/invariants.hh"
 #include "sim/machine_config.hh"
 #include "sim/metrics.hh"
@@ -62,6 +61,23 @@ class SsmtCore : public sim::Snapshotter
 
     /** Advance one cycle (exposed for pipeline tests). */
     void tick();
+
+    /**
+     * Skip quiescent cycles: advance the clock to just before the
+     * next cycle at which any tick() phase can do work (completion
+     * events, builder readiness, fetch resume, dispatch eligibility,
+     * sampler due points), applying exactly the per-cycle accounting
+     * the skipped ticks would have performed (front-end bubbles,
+     * dispatch round-robin rotation). The next tick() lands at most
+     * at @p stop, so external tick loops keep their cycle-precise
+     * stopping points (watchdogs, mid-run checkpoints). A no-op when
+     * fault injection is armed — that's a per-cycle dice roll.
+     *
+     * Calling this between ticks is an identity on the architectural
+     * trajectory: every golden counter, series sample and snapshot
+     * stays byte-for-byte what a tick-by-tick run produces.
+     */
+    void fastForward(uint64_t stop);
 
     /** True when the program halted and the window drained. */
     bool done() const;
@@ -161,22 +177,119 @@ class SsmtCore : public sim::Snapshotter
         bool microPredWrongConsumed = false;
     };
 
+    /**
+     * The in-flight terminating branches, indexed directly by
+     * sequence number. Seq_Nums are dense (one per fetched primary
+     * instruction) and a branch lives here only while it sits in the
+     * window, so live seqs span less than windowSize — a power-of-two
+     * ring over seq turns the per-branch insert/find/take the fetch
+     * and retire paths pay into one masked array index, no hashing.
+     * Serialization order is canonicalized by the owner (sorted by
+     * seq), so the container's layout is not architectural.
+     */
+    class InFlightRing
+    {
+      public:
+        /** Size for @p window in-flight instructions (2x slack so a
+         *  wrapped slot is provably free before its seq returns). */
+        void
+        reserve(size_t window)
+        {
+            size_t cap = 16;
+            while (cap < 2 * window)
+                cap <<= 1;
+            mask_ = cap - 1;
+            slots_.assign(cap, Slot{});
+            live_ = 0;
+        }
+
+        void
+        insert(uint64_t seq, const InFlightBranch &br)
+        {
+            Slot &slot = slots_[seq & mask_];
+            SSMT_ASSERT(!slot.live,
+                        "in-flight branch ring collision: live seq "
+                        "span exceeds the window bound");
+            slot.live = true;
+            slot.seq = seq;
+            slot.br = br;
+            live_++;
+        }
+
+        InFlightBranch *
+        find(uint64_t seq)
+        {
+            Slot &slot = slots_[seq & mask_];
+            return slot.live && slot.seq == seq ? &slot.br : nullptr;
+        }
+
+        const InFlightBranch *
+        find(uint64_t seq) const
+        {
+            const Slot &slot = slots_[seq & mask_];
+            return slot.live && slot.seq == seq ? &slot.br : nullptr;
+        }
+
+        /** Remove the entry for @p seq into @p out. @return false if
+         *  absent. */
+        bool
+        take(uint64_t seq, InFlightBranch &out)
+        {
+            Slot &slot = slots_[seq & mask_];
+            if (!slot.live || slot.seq != seq)
+                return false;
+            out = slot.br;
+            slot.live = false;
+            live_--;
+            return true;
+        }
+
+        size_t size() const { return live_; }
+
+        void
+        clear()
+        {
+            for (Slot &slot : slots_)
+                slot.live = false;
+            live_ = 0;
+        }
+
+        template <typename Fn>
+        void
+        forEach(Fn fn) const
+        {
+            for (const Slot &slot : slots_)
+                if (slot.live)
+                    fn(slot.seq, slot.br);
+        }
+
+      private:
+        struct Slot
+        {
+            uint64_t seq = 0;
+            InFlightBranch br = {};
+            bool live = false;
+        };
+
+        std::vector<Slot> slots_;
+        size_t mask_ = 0;
+        size_t live_ = 0;
+    };
+
     /** A scheduled microthread-op completion. */
+    // Members are zero-initialized: dispatch fills the prediction
+    // fields only for Store_PCache completions, and the snapshot
+    // serializes every event verbatim — indeterminate padding fields
+    // would make checkpoint bytes depend on stack history.
     struct MicroCompletion
     {
-        uint64_t cycle;
-        uint32_t ctx;
-        bool isStPCache;
-        core::PathId pathId;
-        uint64_t targetSeq;
-        bool taken;
-        uint64_t target;
-
-        bool
-        operator>(const MicroCompletion &other) const
-        {
-            return cycle > other.cycle;
-        }
+        uint64_t cycle = 0;
+        uint32_t ctx = 0;
+        bool isStPCache = false;
+        core::PathId pathId = 0;
+        uint64_t targetSeq = 0;
+        bool taken = false;
+        uint64_t target = 0;
     };
 
     // ---- Construction-order state ----
@@ -211,21 +324,49 @@ class SsmtCore : public sim::Snapshotter
     bool finalized_ = false;
     std::array<uint64_t, isa::kNumRegs> regReady_ = {};
     std::array<uint64_t, isa::kNumRegs> lastWriterSeq_ = {};
-    std::deque<RobEntry> rob_;
-    std::unordered_map<uint64_t, InFlightBranch> inflight_;
+    /** In-flight primary-thread window, oldest first. Flat ring
+     *  sized once from windowSize: no deque page churn. */
+    sim::FlatRing<RobEntry> rob_;
+    InFlightRing inflight_;
     /** Reusable drain buffer for Path Cache evicted promotions, so
      *  the retire loop never allocates in the common case. */
     std::vector<core::PathId> evictScratch_;
 
     // ---- Microthread state ----
     std::vector<Microcontext> contexts_;
-    /** Min-heap of scheduled completions, kept as an explicit
-     *  push_heap/pop_heap vector (identical element order to the old
-     *  std::priority_queue) so a checkpoint can serialize the heap
-     *  array verbatim and restore it bit-for-bit. */
-    std::vector<MicroCompletion> microEvents_;
+    /** Scheduled completions in a slab-backed indexed min-heap: the
+     *  same std::push_heap/pop_heap permutation (and therefore the
+     *  same architecturally visible same-cycle tie order) as the old
+     *  payload heap, but sifting 16-byte keys instead of 48-byte
+     *  records. Checkpoints serialize the backing-array order
+     *  verbatim, as before. */
+    sim::CompletionHeap<MicroCompletion> microEvents_;
     uint64_t microOpsInWindow_ = 0;
     uint32_t rrStart_ = 0;
+    /** Count of contexts with active set — derived state (restore
+     *  recomputes it) letting the per-branch matcher feed and the
+     *  per-cycle dispatch scan exit without touching the array. */
+    uint32_t liveCtx_ = 0;
+    /** Count of contexts that can still dispatch ops (active, not
+     *  aborted, nextOp short of the routine end) — derived state
+     *  (restore recomputes it) so the per-cycle dispatch scan and
+     *  fastForward()'s eligibility sweep exit in O(1) when every
+     *  live context is merely draining. */
+    uint32_t dispatchableCtx_ = 0;
+    /** Count of contexts whose path matcher is still Live (active,
+     *  not aborted) — derived state (restore recomputes it) so the
+     *  per-control-flow matcher feed skips the context array
+     *  entirely once every in-flight routine has matched or left its
+     *  path, which is the common state while ops drain. */
+    uint32_t liveMatchers_ = 0;
+    /** Bit per context with a Live matcher (bit i = contexts_[i]),
+     *  kept in lockstep with liveMatchers_ while the context count
+     *  fits in 64 bits: the per-taken-branch matcher feed then walks
+     *  only the set bits, in index order, instead of scanning every
+     *  context record. Derived state, recomputed on restore; unused
+     *  (feedMatchers falls back to the full scan) beyond 64
+     *  contexts. */
+    uint64_t liveMatcherMask_ = 0;
 
     // ---- Builder occupancy ----
     bool builderBusy_ = false;
@@ -233,7 +374,7 @@ class SsmtCore : public sim::Snapshotter
     core::MicroThread pendingInstall_;
 
     // ---- Oracle-mode promoted set ----
-    std::unordered_set<core::PathId> oraclePromoted_;
+    sim::FlatSet oraclePromoted_;
 
     // ---- Throttle feedback (Section 5.3) ----
     struct RoutineFeedback
@@ -241,11 +382,11 @@ class SsmtCore : public sim::Snapshotter
         uint64_t spawns = 0;
         uint64_t useful = 0;
     };
-    std::unordered_map<core::PathId, RoutineFeedback> feedback_;
-    std::unordered_set<core::PathId> suppressed_;
+    sim::FlatMap<RoutineFeedback> feedback_;
+    sim::FlatSet suppressed_;
 
     // ---- Compiler hints (compile-time variant) ----
-    std::unordered_set<core::PathId> staticHints_;
+    sim::FlatSet staticHints_;
 
     // ---- Fault injection (sim/faultinject.hh) ----
     sim::FaultInjector faults_;
@@ -303,3 +444,4 @@ class SsmtCore : public sim::Snapshotter
 } // namespace ssmt
 
 #endif // SSMT_CPU_SSMT_CORE_HH
+

@@ -1,6 +1,6 @@
 #include "cpu/trace.hh"
 
-#include <map>
+#include <algorithm>
 #include <sstream>
 
 namespace ssmt
@@ -72,6 +72,7 @@ TraceRecord::toJsonLine() const
 
 PipelineTrace::PipelineTrace(size_t capacity) : ring_(capacity)
 {
+    armed_ = !ring_.empty();
 }
 
 PipelineTrace::~PipelineTrace()
@@ -84,6 +85,7 @@ PipelineTrace::streamTo(const std::string &path)
 {
     closeStream();
     stream_ = std::fopen(path.c_str(), "w");
+    armed_ = !ring_.empty() || stream_;
     return stream_ != nullptr;
 }
 
@@ -94,6 +96,7 @@ PipelineTrace::closeStream()
         return;
     std::fclose(stream_);
     stream_ = nullptr;
+    armed_ = !ring_.empty();
 }
 
 void
@@ -219,6 +222,63 @@ struct OpenSlice
     uint64_t spawnSeq = 0;
 };
 
+/**
+ * The per-context open-slice table, previously a std::map. Contexts
+ * number in the single digits, so a flat vector kept sorted by
+ * context id beats the red-black tree's node allocation per spawn —
+ * and the ordered final sweep ("in-flight" slices) falls out of the
+ * sort order, keeping the emitted JSON byte-identical.
+ */
+class OpenSlices
+{
+  public:
+    OpenSlice *
+    find(uint32_t ctx)
+    {
+        auto it = lowerBound(ctx);
+        if (it != entries_.end() && it->first == ctx)
+            return &it->second;
+        return nullptr;
+    }
+
+    void
+    put(uint32_t ctx, const OpenSlice &slice)
+    {
+        auto it = lowerBound(ctx);
+        if (it != entries_.end() && it->first == ctx)
+            it->second = slice;
+        else
+            entries_.insert(it, {ctx, slice});
+    }
+
+    void
+    erase(uint32_t ctx)
+    {
+        auto it = lowerBound(ctx);
+        if (it != entries_.end() && it->first == ctx)
+            entries_.erase(it);
+    }
+
+    /** Entries in ascending context order. */
+    const std::vector<std::pair<uint32_t, OpenSlice>> &
+    sorted() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<uint32_t, OpenSlice>> entries_;
+
+    std::vector<std::pair<uint32_t, OpenSlice>>::iterator
+    lowerBound(uint32_t ctx)
+    {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), ctx,
+            [](const std::pair<uint32_t, OpenSlice> &entry,
+               uint32_t key) { return entry.first < key; });
+    }
+};
+
 } // namespace
 
 std::string
@@ -238,16 +298,18 @@ chromeTraceJson(const std::vector<TraceRecord> &records)
     out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
         << "\"args\": {\"name\": \"ssmt\"}}";
 
-    // One track per microcontext that appears in the capture.
-    std::map<uint32_t, OpenSlice> open;
+    // One track per microcontext that appears in the capture, named
+    // in first-appearance order (matching the historical output).
+    OpenSlices open;
     uint64_t last_cycle = 0;
-    std::map<uint32_t, bool> named;
+    std::vector<uint32_t> named;
     for (const TraceRecord &rec : records) {
         last_cycle = rec.cycle > last_cycle ? rec.cycle : last_cycle;
         if (rec.ctx == kNoTraceCtx)
             continue;
-        if (!named[rec.ctx]) {
-            named[rec.ctx] = true;
+        if (std::find(named.begin(), named.end(), rec.ctx) ==
+            named.end()) {
+            named.push_back(rec.ctx);
             appendThreadName(out, first, kCtxTidBase + rec.ctx,
                              "uctx" + std::to_string(rec.ctx));
         }
@@ -264,16 +326,15 @@ chromeTraceJson(const std::vector<TraceRecord> &records)
             appendInstant(out, first, rec, kMechanismTid);
             if (rec.ctx == kNoTraceCtx)
                 break;
-            auto it = open.find(rec.ctx);
-            if (it != open.end()) {
+            if (const OpenSlice *stale = open.find(rec.ctx)) {
                 // The matching end event was lost (ring eviction);
                 // close the stale slice at this spawn.
-                appendSlice(out, first, it->second.startCycle,
+                appendSlice(out, first, stale->startCycle,
                             rec.cycle, kCtxTidBase + rec.ctx,
-                            it->second.pathId, it->second.spawnSeq,
+                            stale->pathId, stale->spawnSeq,
                             "truncated");
             }
-            open[rec.ctx] = {rec.cycle, rec.aux, rec.seq};
+            open.put(rec.ctx, {rec.cycle, rec.aux, rec.seq});
             break;
           }
           case TraceEvent::ThreadAbort:
@@ -281,16 +342,16 @@ chromeTraceJson(const std::vector<TraceRecord> &records)
             appendInstant(out, first, rec, kMechanismTid);
             if (rec.ctx == kNoTraceCtx)
                 break;
-            auto it = open.find(rec.ctx);
-            if (it == open.end())
+            const OpenSlice *slice = open.find(rec.ctx);
+            if (!slice)
                 break;      // spawn fell off the ring
-            appendSlice(out, first, it->second.startCycle, rec.cycle,
-                        kCtxTidBase + rec.ctx, it->second.pathId,
-                        it->second.spawnSeq,
+            appendSlice(out, first, slice->startCycle, rec.cycle,
+                        kCtxTidBase + rec.ctx, slice->pathId,
+                        slice->spawnSeq,
                         rec.event == TraceEvent::ThreadComplete
                             ? "complete"
                             : "abort");
-            open.erase(it);
+            open.erase(rec.ctx);
             break;
           }
           default:
@@ -300,7 +361,7 @@ chromeTraceJson(const std::vector<TraceRecord> &records)
     }
 
     // Microthreads still in flight when the capture ended.
-    for (const auto &entry : open) {
+    for (const auto &entry : open.sorted()) {
         appendSlice(out, first, entry.second.startCycle,
                     last_cycle + 1, kCtxTidBase + entry.first,
                     entry.second.pathId, entry.second.spawnSeq,

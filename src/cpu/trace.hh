@@ -80,7 +80,7 @@ class PipelineTrace
     PipelineTrace(const PipelineTrace &) = delete;
     PipelineTrace &operator=(const PipelineTrace &) = delete;
 
-    bool enabled() const { return !ring_.empty() || stream_; }
+    bool enabled() const { return armed_; }
 
     /**
      * Start streaming every subsequent record as one JSON line to
@@ -97,7 +97,9 @@ class PipelineTrace
            uint64_t seq = 0, uint64_t aux = 0,
            uint32_t ctx = kNoTraceCtx)
     {
-        if (ring_.empty() && !stream_)
+        // One byte load on the (default) disabled path; the record
+        // call sites sit inside per-instruction loops.
+        if (!armed_)
             return;
         recordSlow(cycle, event, pc, seq, aux, ctx);
     }
@@ -125,6 +127,9 @@ class PipelineTrace
     size_t size_ = 0;
     uint64_t totalRecorded_ = 0;
     std::FILE *stream_ = nullptr;
+    /** Cache of (!ring_.empty() || stream_), maintained by the
+     *  constructor and the stream open/close transitions. */
+    bool armed_ = false;
 };
 
 /**
@@ -140,3 +145,4 @@ std::string chromeTraceJson(const PipelineTrace &trace);
 } // namespace ssmt
 
 #endif // SSMT_CPU_TRACE_HH
+

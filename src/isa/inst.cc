@@ -9,75 +9,6 @@ namespace ssmt
 namespace isa
 {
 
-OpClass
-opClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Mul:
-        return OpClass::IntMul;
-      case Opcode::Div:
-        return OpClass::IntDiv;
-      case Opcode::Ld:
-        return OpClass::MemRead;
-      case Opcode::St:
-        return OpClass::MemWrite;
-      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
-      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
-      case Opcode::J: case Opcode::Jal: case Opcode::Jr:
-      case Opcode::Jalr:
-        return OpClass::Control;
-      case Opcode::StPCache: case Opcode::VpInst: case Opcode::ApInst:
-        return OpClass::Micro;
-      case Opcode::Nop: case Opcode::Halt:
-        return OpClass::Other;
-      default:
-        return OpClass::IntAlu;
-    }
-}
-
-int
-opLatency(Opcode op)
-{
-    switch (opClass(op)) {
-      case OpClass::IntMul:
-        return 3;
-      case OpClass::IntDiv:
-        return 12;
-      default:
-        return 1;
-    }
-}
-
-bool
-isCondBranch(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
-      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isControl(Opcode op)
-{
-    return opClass(op) == OpClass::Control;
-}
-
-bool
-isIndirect(Opcode op)
-{
-    return op == Opcode::Jr || op == Opcode::Jalr;
-}
-
-bool
-isMicroOnly(Opcode op)
-{
-    return opClass(op) == OpClass::Micro;
-}
-
 const char *
 opcodeName(Opcode op)
 {
@@ -97,17 +28,6 @@ opcodeName(Opcode op)
     if (idx >= names.size())
         return "???";
     return names[idx];
-}
-
-int
-Inst::numSrcs() const
-{
-    int n = 0;
-    if (rs1 != kNoReg)
-        n++;
-    if (rs2 != kNoReg)
-        n++;
-    return n;
 }
 
 std::string
@@ -175,3 +95,4 @@ SSMT_SNAPSHOT_PIN_LAYOUT(Inst, 16);
 
 } // namespace isa
 } // namespace ssmt
+

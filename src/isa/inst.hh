@@ -54,7 +54,11 @@ struct Inst
     int64_t imm = 0;            ///< immediate / branch target / offset
 
     /** @return number of register source operands actually used. */
-    int numSrcs() const;
+    int
+    numSrcs() const
+    {
+        return (rs1 != kNoReg ? 1 : 0) + (rs2 != kNoReg ? 1 : 0);
+    }
 
     /** @return the i-th source register (i in [0, numSrcs())). */
     RegIndex srcReg(int i) const { return i == 0 ? rs1 : rs2; }
@@ -92,3 +96,4 @@ struct Inst
 } // namespace ssmt
 
 #endif // SSMT_ISA_INST_HH
+

@@ -13,31 +13,19 @@ MemoryImage::Page *
 MemoryImage::pageFor(uint64_t addr, bool create) const
 {
     uint64_t page_num = addr / kPageBytes;
-    auto it = pages_.find(page_num);
-    if (it != pages_.end())
-        return it->second.get();
+    if (const std::unique_ptr<Page> *slot = pages_.find(page_num)) {
+        lastPageNum_ = page_num;
+        lastPage_ = slot->get();
+        return lastPage_;
+    }
     if (!create)
         return nullptr;
     auto page = std::make_unique<Page>();
     Page *raw = page.get();
-    pages_.emplace(page_num, std::move(page));
+    pages_.insert(page_num, std::move(page));
+    lastPageNum_ = page_num;
+    lastPage_ = raw;
     return raw;
-}
-
-uint64_t
-MemoryImage::load(uint64_t addr) const
-{
-    const Page *page = pageFor(addr, false);
-    if (!page)
-        return 0;
-    return page->words[(addr % kPageBytes) / 8];
-}
-
-void
-MemoryImage::store(uint64_t addr, uint64_t value)
-{
-    Page *page = pageFor(addr, true);
-    page->words[(addr % kPageBytes) / 8] = value;
 }
 
 
@@ -47,12 +35,13 @@ MemoryImage::save(sim::SnapshotWriter &w) const
     // Pages sorted by page number for canonical bytes.
     std::vector<uint64_t> index;
     index.reserve(pages_.size());
-    for (const auto &kv : pages_)
-        index.push_back(kv.first);
+    pages_.forEach([&](uint64_t page_num, const std::unique_ptr<Page> &) {
+        index.push_back(page_num);
+    });
     std::sort(index.begin(), index.end());
     w.beginArray("pages");
     for (uint64_t page_num : index) {
-        const Page *page = pages_.find(page_num)->second.get();
+        const Page *page = pages_.find(page_num)->get();
         w.beginObject();
         w.u64("index", page_num);
         w.hexWords("words", page->words, kWordsPerPage);
@@ -64,13 +53,13 @@ MemoryImage::save(sim::SnapshotWriter &w) const
 void
 MemoryImage::restore(sim::SnapshotReader &r)
 {
-    pages_.clear();
+    clear();
     const size_t n = r.enterArray("pages");
     for (size_t i = 0; i < n; i++) {
         r.enterItem(i);
         auto page = std::make_unique<Page>();
         r.hexWords("words", page->words, kWordsPerPage);
-        pages_.emplace(r.u64("index"), std::move(page));
+        pages_.insert(r.u64("index"), std::move(page));
         r.leave();
     }
     r.leave();
@@ -80,3 +69,4 @@ static_assert(sim::SnapshotterLike<MemoryImage>);
 
 } // namespace isa
 } // namespace ssmt
+

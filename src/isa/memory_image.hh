@@ -13,8 +13,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/flat_hash.hh"
 
 namespace ssmt
 {
@@ -34,17 +35,45 @@ class MemoryImage
 
     MemoryImage() = default;
 
+    // load/store sit under the interpreter (every modeled load plus
+    // every microthread re-execution), so they live in the header
+    // with a one-entry most-recently-used page in front of the page
+    // table: loop working sets rarely leave a page between accesses.
+
     /** Read the aligned 64-bit word containing @p addr. */
-    uint64_t load(uint64_t addr) const;
+    uint64_t
+    load(uint64_t addr) const
+    {
+        uint64_t page_num = addr / kPageBytes;
+        const Page *page = page_num == lastPageNum_
+                               ? lastPage_
+                               : pageFor(addr, false);
+        if (!page)
+            return 0;
+        return page->words[(addr % kPageBytes) / 8];
+    }
 
     /** Write the aligned 64-bit word containing @p addr. */
-    void store(uint64_t addr, uint64_t value);
+    void
+    store(uint64_t addr, uint64_t value)
+    {
+        uint64_t page_num = addr / kPageBytes;
+        Page *page = page_num == lastPageNum_ ? lastPage_
+                                              : pageFor(addr, true);
+        page->words[(addr % kPageBytes) / 8] = value;
+    }
 
     /** Number of pages currently materialized (for tests). */
     size_t numPages() const { return pages_.size(); }
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        lastPageNum_ = ~0ull;
+        lastPage_ = nullptr;
+    }
 
     void save(sim::SnapshotWriter &w) const;
     void restore(sim::SnapshotReader &r);
@@ -55,7 +84,15 @@ class MemoryImage
         uint64_t words[kWordsPerPage] = {};
     };
 
-    mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    /** Page table: a flat open-addressing map, so the (frequent) MRU
+     *  misses still resolve in a probe or two of one contiguous
+     *  array instead of a node chase. */
+    mutable sim::FlatMap<std::unique_ptr<Page>> pages_;
+    /** One-entry MRU over pages_; both fields move together. A null
+     *  lastPage_ with a matching lastPageNum_ never occurs: misses
+     *  leave the pair untouched. */
+    mutable uint64_t lastPageNum_ = ~0ull;
+    mutable Page *lastPage_ = nullptr;
 
     Page *pageFor(uint64_t addr, bool create) const;
 };
@@ -64,3 +101,4 @@ class MemoryImage
 } // namespace ssmt
 
 #endif // SSMT_ISA_MEMORY_IMAGE_HH
+

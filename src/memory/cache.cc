@@ -1,5 +1,7 @@
 #include "memory/cache.hh"
 
+#include <algorithm>
+
 #include "sim/snapshot.hh"
 
 #include "sim/logging.hh"
@@ -32,31 +34,10 @@ Cache::Cache(const std::string &name, uint64_t size_bytes,
     SSMT_ASSERT(isPow2(numSets_),
                 "cache set count must be power-of-two: " + name);
     sets_.resize(numSets_ * assoc_);
+    tags_.assign(sets_.size(), ~0ull);
     lineShift_ = 0;
     while ((1ull << lineShift_) < line_bytes)
         lineShift_++;
-}
-
-bool
-Cache::access(uint64_t addr, bool allocate_on_miss)
-{
-    uint64_t line = addr >> lineShift_;
-    uint64_t set = line & (numSets_ - 1);
-    uint64_t tag = line >> 0;  // full line number as tag; sets disjoint
-    Line *base = &sets_[set * assoc_];
-
-    stamp_++;
-    for (uint32_t way = 0; way < assoc_; way++) {
-        if (base[way].valid && base[way].tag == tag) {
-            base[way].lastUse = stamp_;
-            hits_++;
-            return true;
-        }
-    }
-    misses_++;
-    if (allocate_on_miss)
-        fillLine(set, tag);
-    return false;
 }
 
 bool
@@ -103,6 +84,7 @@ Cache::fillLine(uint64_t set, uint64_t tag)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = ++stamp_;
+    tags_[static_cast<size_t>(victim - sets_.data())] = tag;
 }
 
 void
@@ -111,9 +93,12 @@ Cache::invalidate(uint64_t addr)
     uint64_t line = addr >> lineShift_;
     uint64_t set = line & (numSets_ - 1);
     Line *base = &sets_[set * assoc_];
-    for (uint32_t way = 0; way < assoc_; way++)
-        if (base[way].valid && base[way].tag == line)
+    for (uint32_t way = 0; way < assoc_; way++) {
+        if (base[way].valid && base[way].tag == line) {
             base[way].valid = false;
+            tags_[set * assoc_ + way] = ~0ull;
+        }
+    }
 }
 
 void
@@ -121,6 +106,7 @@ Cache::reset()
 {
     for (Line &line : sets_)
         line = Line{};
+    std::fill(tags_.begin(), tags_.end(), ~0ull);
     hits_ = misses_ = 0;
     stamp_ = 0;
 }
@@ -157,6 +143,7 @@ Cache::restore(sim::SnapshotReader &r)
         sets_[i].valid = valid[i] != 0;
         sets_[i].tag = tag[i];
         sets_[i].lastUse = last_use[i];
+        tags_[i] = sets_[i].valid ? sets_[i].tag : ~0ull;
     }
     stamp_ = r.u64("stamp");
     hits_ = r.u64("hits");
@@ -167,3 +154,4 @@ static_assert(sim::SnapshotterLike<Cache>);
 
 } // namespace memory
 } // namespace ssmt
+

@@ -40,10 +40,34 @@ class Cache
 
     /**
      * Look up @p addr; updates LRU and hit/miss counters.
+     * In the header because every fetched instruction and every
+     * modeled load probes a cache — the hit path must fold into the
+     * caller; the miss path tails into the out-of-line fill.
      * @param allocate_on_miss fill the line if it missed
      * @return true on hit
      */
-    bool access(uint64_t addr, bool allocate_on_miss = true);
+    bool
+    access(uint64_t addr, bool allocate_on_miss = true)
+    {
+        uint64_t line = addr >> lineShift_;
+        uint64_t set = line & (numSets_ - 1);
+        Line *base = &sets_[set * assoc_];
+        const uint64_t *tags = &tags_[set * assoc_];
+
+        stamp_++;
+        for (uint32_t way = 0; way < assoc_; way++) {
+            if (tags[way] == line && base[way].valid &&
+                base[way].tag == line) {
+                base[way].lastUse = stamp_;
+                hits_++;
+                return true;
+            }
+        }
+        misses_++;
+        if (allocate_on_miss)
+            fillLine(set, line);
+        return false;
+    }
 
     /** Look up without any state change. */
     bool probe(uint64_t addr) const;
@@ -82,6 +106,13 @@ class Cache
     uint64_t numSets_ = 0;
     uint32_t lineShift_ = 0;
     std::vector<Line> sets_;
+    /** Tag of each way when valid, ~0 otherwise — a packed mirror of
+     *  sets_ so the probe loop in access() compares against one
+     *  contiguous run of tags instead of striding across 24-byte
+     *  Lines. A tag match is re-verified against the Line (a real
+     *  line tag could equal the ~0 sentinel), so the mirror can never
+     *  change an outcome. Not serialized; restore() rebuilds it. */
+    std::vector<uint64_t> tags_;
     uint64_t stamp_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
@@ -93,3 +124,4 @@ class Cache
 } // namespace ssmt
 
 #endif // SSMT_MEMORY_CACHE_HH
+

@@ -15,41 +15,6 @@ Hierarchy::Hierarchy(const HierarchyConfig &config)
 {
 }
 
-int
-Hierarchy::read(uint64_t addr)
-{
-    if (l1d_.access(addr, false))
-        return config_.l1Latency;
-    if (l2_.access(addr)) {
-        l1d_.fill(addr);
-        return config_.l1Latency + config_.l2Latency;
-    }
-    l1d_.fill(addr);
-    return config_.l1Latency + config_.l2Latency + config_.dramLatency;
-}
-
-void
-Hierarchy::write(uint64_t addr)
-{
-    // Table 3: "stores are sent directly to the L2 and invalidated in
-    // the L1".
-    l1d_.invalidate(addr);
-    l2_.access(addr);
-}
-
-int
-Hierarchy::fetch(uint64_t byte_addr)
-{
-    if (l1i_.access(byte_addr, false))
-        return config_.l1Latency;
-    if (l2_.access(byte_addr)) {
-        l1i_.fill(byte_addr);
-        return config_.l1Latency + config_.l2Latency;
-    }
-    l1i_.fill(byte_addr);
-    return config_.l1Latency + config_.l2Latency + config_.dramLatency;
-}
-
 void
 Hierarchy::reset()
 {

@@ -49,14 +49,50 @@ class Hierarchy
   public:
     explicit Hierarchy(const HierarchyConfig &config = {});
 
+    // read/write/fetch are header-inline: every fetched instruction
+    // probes the I-side and every modeled load/store the D-side, and
+    // the dominant L1-hit outcome is one set scan the caller should
+    // absorb without a call.
+
     /** Data-side read; fills on miss. @return total latency. */
-    int read(uint64_t addr);
+    int
+    read(uint64_t addr)
+    {
+        if (l1d_.access(addr, false))
+            return config_.l1Latency;
+        if (l2_.access(addr)) {
+            l1d_.fill(addr);
+            return config_.l1Latency + config_.l2Latency;
+        }
+        l1d_.fill(addr);
+        return config_.l1Latency + config_.l2Latency +
+               config_.dramLatency;
+    }
 
     /** Data-side write: L1 invalidate, sent to L2 (fills L2). */
-    void write(uint64_t addr);
+    void
+    write(uint64_t addr)
+    {
+        // Table 3: "stores are sent directly to the L2 and
+        // invalidated in the L1".
+        l1d_.invalidate(addr);
+        l2_.access(addr);
+    }
 
     /** Instruction fetch of the line containing @p byte_addr. */
-    int fetch(uint64_t byte_addr);
+    int
+    fetch(uint64_t byte_addr)
+    {
+        if (l1i_.access(byte_addr, false))
+            return config_.l1Latency;
+        if (l2_.access(byte_addr)) {
+            l1i_.fill(byte_addr);
+            return config_.l1Latency + config_.l2Latency;
+        }
+        l1i_.fill(byte_addr);
+        return config_.l1Latency + config_.l2Latency +
+               config_.dramLatency;
+    }
 
     /** Reset all cache state and counters. */
     void reset();

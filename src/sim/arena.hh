@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-run bump allocator for transient scratch data.
+ *
+ * Several paths build short-lived vectors at simulation time — the
+ * microthread builder's slice walk is the main one (path positions,
+ * included ops, load-address fences, the pruning keep-list). Each of
+ * those used to be a fresh heap vector per build. An Arena hands out
+ * memory by bumping a pointer through reusable chunks; reset()
+ * rewinds to empty without returning anything to the system, so
+ * after the first few builds the steady state performs no heap
+ * allocation at all.
+ *
+ * ArenaAllocator adapts the arena to the std allocator interface so
+ * ordinary std::vector code can run on top of it. deallocate() is a
+ * no-op by design: memory is reclaimed wholesale at reset(). That
+ * makes the arena strictly for scratch whose lifetime ends before
+ * the next reset — nothing long-lived may escape into it.
+ */
+
+#ifndef SSMT_SIM_ARENA_HH
+#define SSMT_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+class Arena
+{
+  public:
+    explicit Arena(size_t chunk_bytes = 16 * 1024)
+        : chunkBytes_(chunk_bytes)
+    {
+        SSMT_ASSERT(chunk_bytes >= 256, "arena chunks must be sane");
+    }
+
+    /** @return @p bytes of storage aligned to @p align. */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        SSMT_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                    "arena alignment must be a power of two");
+        if (bytes == 0)
+            bytes = 1;
+        size_t offset = (cursor_ + align - 1) & ~(align - 1);
+        if (chunk_ >= chunks_.size() ||
+            offset + bytes > chunks_[chunk_].size()) {
+            nextChunk(bytes + align);
+            offset = (cursor_ + align - 1) & ~(align - 1);
+        }
+        cursor_ = offset + bytes;
+        return chunks_[chunk_].data() + offset;
+    }
+
+    template <typename T>
+    T *
+    allocArray(size_t n)
+    {
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Rewind to empty. Chunks are retained for reuse; outstanding
+     *  pointers into the arena become invalid. */
+    void
+    reset()
+    {
+        chunk_ = 0;
+        cursor_ = 0;
+    }
+
+    /** Number of chunks acquired from the system so far. */
+    size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    void
+    nextChunk(size_t min_bytes)
+    {
+        size_t want = min_bytes > chunkBytes_ ? min_bytes
+                                              : chunkBytes_;
+        chunk_ = chunks_.empty() ? 0 : chunk_ + 1;
+        cursor_ = 0;
+        // Reuse the next retained chunk that is large enough;
+        // undersized ones are skipped until the next reset.
+        while (chunk_ < chunks_.size() &&
+               chunks_[chunk_].size() < want) {
+            chunk_++;
+        }
+        if (chunk_ >= chunks_.size()) {
+            chunks_.emplace_back(want);
+            chunk_ = chunks_.size() - 1;
+        }
+    }
+
+    size_t chunkBytes_;
+    std::vector<std::vector<unsigned char>> chunks_;
+    size_t chunk_ = 0;
+    size_t cursor_ = 0;
+};
+
+/** std-compatible allocator over an Arena (deallocate is a no-op;
+ *  the arena's reset() reclaims everything at once). */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena &arena) : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other)
+        : arena_(other.arena())
+    {
+    }
+
+    T *allocate(size_t n)
+    {
+        return arena_->allocArray<T>(n);
+    }
+
+    void deallocate(T *, size_t) {}
+
+    Arena *arena() const { return arena_; }
+
+    bool
+    operator==(const ArenaAllocator &other) const
+    {
+        return arena_ == other.arena_;
+    }
+
+  private:
+    Arena *arena_;
+};
+
+/** Scratch vector living in an Arena. */
+template <typename T>
+using ScratchVector = std::vector<T, ArenaAllocator<T>>;
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_ARENA_HH
+

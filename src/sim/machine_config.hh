@@ -142,3 +142,4 @@ struct MachineConfig
 } // namespace ssmt
 
 #endif // SSMT_SIM_MACHINE_CONFIG_HH
+

@@ -59,6 +59,12 @@ runProgramChecked(const isa::Program &prog, const MachineConfig &config,
     // the counters.
     while (!core.done() && core.cycle() < cfg.maxCycles &&
            core.retiredInsts() < cfg.maxInsts) {
+        // Skip quiescent cycles, but never past the snapshot point:
+        // the capture below must still observe its exact cycle.
+        bool snapshot_armed = artifacts && snapshot_at_cycle > 0 &&
+                              core.cycle() < snapshot_at_cycle;
+        core.fastForward(snapshot_armed ? snapshot_at_cycle
+                                        : cfg.maxCycles);
         core.tick();
         if (artifacts && snapshot_at_cycle > 0 &&
             core.cycle() == snapshot_at_cycle) {

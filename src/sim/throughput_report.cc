@@ -1,0 +1,301 @@
+#include "sim/throughput_report.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "sim/bench_json.hh"
+#include "sim/golden.hh"
+#include "sim/json_text.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+const char kThroughputSchema[] = "ssmt-throughput-v1";
+
+namespace
+{
+
+std::string
+fmtDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+double
+jsonNumber(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::Number)
+        return 0.0;
+    return v->isInteger ? static_cast<double>(v->integer) : v->number;
+}
+
+} // namespace
+
+ThroughputMachine
+ThroughputMachine::current()
+{
+    ThroughputMachine m;
+    m.hostThreads = std::thread::hardware_concurrency();
+    m.pointerBits = 8 * sizeof(void *);
+#if defined(__clang__)
+    m.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    m.compiler = std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                 std::to_string(__GNUC_MINOR__) + "." +
+                 std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    m.compiler = "unknown";
+#endif
+#ifdef NDEBUG
+    m.buildType = "release";
+#else
+    m.buildType = "debug";
+#endif
+    return m;
+}
+
+const ThroughputCell *
+ThroughputReport::find(const std::string &workload,
+                       const std::string &mode) const
+{
+    for (const ThroughputCell &cell : cells) {
+        if (cell.workload == workload && cell.mode == mode)
+            return &cell;
+    }
+    return nullptr;
+}
+
+bool
+measureThroughput(const std::vector<BatchJob> &batch, unsigned jobs,
+                  uint64_t repeat, ThroughputReport &out,
+                  std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    if (batch.empty())
+        return fail("empty batch");
+    if (repeat == 0)
+        return fail("repeat must be >= 1");
+
+    auto suite_start = std::chrono::steady_clock::now();
+    BatchRunner runner(jobs);
+    std::vector<BatchResult> results = runner.run(batch);
+    for (size_t i = 0; i < results.size(); i++) {
+        if (!results[i].ok())
+            return fail("cell " + batch[i].name + " failed: " +
+                        results[i].error);
+    }
+    std::vector<double> best_seconds(results.size());
+    for (size_t i = 0; i < results.size(); i++)
+        best_seconds[i] = results[i].hostSeconds;
+
+    for (uint64_t rep = 1; rep < repeat; rep++) {
+        std::vector<BatchResult> again = runner.run(batch);
+        for (size_t i = 0; i < again.size(); i++) {
+            if (!again[i].ok())
+                return fail("cell " + batch[i].name + " failed: " +
+                            again[i].error);
+            // Simulated results must not depend on the repeat.
+            if (statsValues(again[i].stats) !=
+                statsValues(results[i].stats)) {
+                return fail("cell " + batch[i].name +
+                            ": simulated counters changed between "
+                            "repeats — nondeterminism");
+            }
+            best_seconds[i] =
+                std::min(best_seconds[i], again[i].hostSeconds);
+        }
+    }
+    out.suiteWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - suite_start)
+            .count();
+
+    out.jobs = runner.jobs();
+    out.repeat = repeat;
+    out.machine = ThroughputMachine::current();
+    out.cells.clear();
+    out.cells.reserve(results.size());
+    double log_mips = 0.0;
+    double log_cps = 0.0;
+    for (size_t i = 0; i < results.size(); i++) {
+        ThroughputCell cell;
+        size_t slash = batch[i].name.find('/');
+        cell.workload = batch[i].name.substr(0, slash);
+        cell.mode = slash == std::string::npos
+                        ? std::string()
+                        : batch[i].name.substr(slash + 1);
+        cell.retiredInsts = results[i].stats.retiredInsts;
+        cell.cycles = results[i].stats.cycles;
+        cell.bestSeconds = std::max(best_seconds[i], 1e-9);
+        cell.mips = static_cast<double>(cell.retiredInsts) /
+                    cell.bestSeconds / 1e6;
+        cell.cyclesPerSec =
+            static_cast<double>(cell.cycles) / cell.bestSeconds;
+        log_mips += std::log(std::max(cell.mips, 1e-12));
+        log_cps += std::log(std::max(cell.cyclesPerSec, 1e-12));
+        out.cells.push_back(std::move(cell));
+    }
+    double n = static_cast<double>(out.cells.size());
+    out.geomeanMips = std::exp(log_mips / n);
+    out.geomeanCyclesPerSec = std::exp(log_cps / n);
+    return true;
+}
+
+std::string
+throughputJson(const ThroughputReport &report)
+{
+    std::string cells;
+    for (const ThroughputCell &cell : report.cells) {
+        if (!cells.empty())
+            cells += ",";
+        cells += "\n    {\"workload\": \"" +
+                 BenchJson::escape(cell.workload) +
+                 "\", \"mode\": \"" + BenchJson::escape(cell.mode) +
+                 "\"";
+        cells += ", \"retiredInsts\": " +
+                 std::to_string(cell.retiredInsts);
+        cells += ", \"cycles\": " + std::to_string(cell.cycles);
+        cells += ", \"bestSeconds\": " + fmtDouble(cell.bestSeconds);
+        cells += ", \"mips\": " + fmtDouble(cell.mips);
+        cells +=
+            ", \"cyclesPerSec\": " + fmtDouble(cell.cyclesPerSec);
+        cells += "}";
+    }
+
+    std::string machine = "{";
+    machine +=
+        "\"hostThreads\": " + std::to_string(report.machine.hostThreads);
+    machine += ", \"pointerBits\": " +
+               std::to_string(report.machine.pointerBits);
+    machine += ", \"compiler\": \"" +
+               BenchJson::escape(report.machine.compiler) + "\"";
+    machine += ", \"buildType\": \"" +
+               BenchJson::escape(report.machine.buildType) + "\"";
+    machine += "}";
+
+    std::string doc = "{\n";
+    doc += "  \"schema\": \"" + std::string(kThroughputSchema) +
+           "\",\n";
+    doc += "  \"jobs\": " + std::to_string(report.jobs) + ",\n";
+    doc += "  \"repeat\": " + std::to_string(report.repeat) + ",\n";
+    doc += "  \"scale\": " + std::to_string(report.scale) + ",\n";
+    doc += "  \"machine\": " + machine + ",\n";
+    doc += "  \"suiteWallSeconds\": " +
+           fmtDouble(report.suiteWallSeconds) + ",\n";
+    doc += "  \"geomeanMips\": " + fmtDouble(report.geomeanMips) +
+           ",\n";
+    doc += "  \"geomeanCyclesPerSec\": " +
+           fmtDouble(report.geomeanCyclesPerSec) + ",\n";
+    if (report.baseline.present) {
+        doc += "  \"baseline\": {\"note\": \"" +
+               BenchJson::escape(report.baseline.note) +
+               "\", \"geomeanMips\": " +
+               fmtDouble(report.baseline.geomeanMips) + "},\n";
+    }
+    doc += "  \"cells\": [" + cells + "\n  ]\n}\n";
+    return doc;
+}
+
+bool
+parseThroughput(const std::string &text, ThroughputReport &out,
+                std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    JsonValue doc;
+    if (!parseJson(text, doc, err))
+        return false;
+    if (doc.kind != JsonValue::Kind::Object)
+        return fail("throughput document is not an object");
+    if (doc.str("schema") != kThroughputSchema)
+        return fail("unexpected schema '" + doc.str("schema") +
+                    "' (want " + kThroughputSchema + ")");
+
+    out = ThroughputReport{};
+    out.jobs = static_cast<unsigned>(doc.u64("jobs", 1));
+    out.repeat = doc.u64("repeat", 1);
+    out.scale = doc.u64("scale", 1);
+    out.suiteWallSeconds = jsonNumber(doc, "suiteWallSeconds");
+    out.geomeanMips = jsonNumber(doc, "geomeanMips");
+    out.geomeanCyclesPerSec = jsonNumber(doc, "geomeanCyclesPerSec");
+
+    if (const JsonValue *machine = doc.find("machine")) {
+        if (machine->kind != JsonValue::Kind::Object)
+            return fail("machine is not an object");
+        out.machine.hostThreads =
+            static_cast<unsigned>(machine->u64("hostThreads"));
+        out.machine.pointerBits =
+            static_cast<unsigned>(machine->u64("pointerBits"));
+        out.machine.compiler = machine->str("compiler");
+        out.machine.buildType = machine->str("buildType");
+    }
+    if (const JsonValue *baseline = doc.find("baseline")) {
+        if (baseline->kind != JsonValue::Kind::Object)
+            return fail("baseline is not an object");
+        out.baseline.present = true;
+        out.baseline.note = baseline->str("note");
+        out.baseline.geomeanMips = jsonNumber(*baseline, "geomeanMips");
+    }
+
+    const JsonValue *cells = doc.find("cells");
+    if (!cells || cells->kind != JsonValue::Kind::Array)
+        return fail("missing cells array");
+    out.cells.reserve(cells->items.size());
+    for (const JsonValue &item : cells->items) {
+        if (item.kind != JsonValue::Kind::Object)
+            return fail("cell is not an object");
+        ThroughputCell cell;
+        cell.workload = item.str("workload");
+        cell.mode = item.str("mode");
+        if (cell.workload.empty())
+            return fail("cell without a workload name");
+        cell.retiredInsts = item.u64("retiredInsts");
+        cell.cycles = item.u64("cycles");
+        cell.bestSeconds = jsonNumber(item, "bestSeconds");
+        cell.mips = jsonNumber(item, "mips");
+        cell.cyclesPerSec = jsonNumber(item, "cyclesPerSec");
+        out.cells.push_back(std::move(cell));
+    }
+    return true;
+}
+
+std::vector<ThroughputDelta>
+throughputRegressions(const ThroughputReport &current,
+                      const ThroughputReport &baseline,
+                      double tolerance)
+{
+    std::vector<ThroughputDelta> out;
+    for (const ThroughputCell &ref : baseline.cells) {
+        const ThroughputCell *cell =
+            current.find(ref.workload, ref.mode);
+        if (!cell || ref.mips <= 0.0)
+            continue;
+        if (cell->mips < ref.mips * (1.0 - tolerance)) {
+            ThroughputDelta delta;
+            delta.workload = ref.workload;
+            delta.mode = ref.mode;
+            delta.baselineMips = ref.mips;
+            delta.currentMips = cell->mips;
+            out.push_back(std::move(delta));
+        }
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace ssmt

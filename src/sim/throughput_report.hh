@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Simulator-throughput measurement and its JSON wire format
+ * (`"schema": "ssmt-throughput-v1"`).
+ *
+ * This is the library half of bench/bench_throughput.cc, factored
+ * out so the harness itself is testable: the emit/parse round trip,
+ * the --jobs invariance of the simulated counters, and the advisory
+ * baseline comparison all run under gtest
+ * (tests/test_bench_throughput.cc) without shelling out to the
+ * binary.
+ *
+ * Document layout:
+ *
+ *   {
+ *     "schema": "ssmt-throughput-v1",
+ *     "jobs": 1, "repeat": 3, "scale": 1,
+ *     "machine": {                      // host fingerprint
+ *       "hostThreads": 8, "pointerBits": 64,
+ *       "compiler": "gcc 12.2.0", "buildType": "release"
+ *     },
+ *     "suiteWallSeconds": 12.3,
+ *     "geomeanMips": 4.56,              // across all cells
+ *     "geomeanCyclesPerSec": 3.2e6,
+ *     "baseline": {                     // optional: the reference
+ *       "note": "pre-PR seed @...",     // measurement this run is
+ *       "geomeanMips": 2.1              // compared against
+ *     },
+ *     "cells": [
+ *       {"workload": "go", "mode": "baseline",
+ *        "retiredInsts": 300405, "cycles": 390128,
+ *        "bestSeconds": 0.0712,         // min over repeats
+ *        "mips": 4.22, "cyclesPerSec": 5.48e6}, ...
+ *     ]
+ *   }
+ *
+ * Timing discipline: each (workload, mode) cell is one isolated
+ * SsmtCore run timed around SsmtCore::run() only (program
+ * construction excluded); `repeat` reruns the suite and keeps each
+ * cell's *minimum* wall time, the conventional noise filter for
+ * throughput benchmarking. The simulated counters (retiredInsts,
+ * cycles) are cross-checked between repeats — any drift means the
+ * simulator went nondeterministic and the measurement fails.
+ */
+
+#ifndef SSMT_SIM_THROUGHPUT_REPORT_HH
+#define SSMT_SIM_THROUGHPUT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+extern const char kThroughputSchema[];  ///< "ssmt-throughput-v1"
+
+/** One timed (workload, mode) measurement. */
+struct ThroughputCell
+{
+    std::string workload;
+    std::string mode;
+    uint64_t retiredInsts = 0;  ///< simulated; jobs/repeat invariant
+    uint64_t cycles = 0;        ///< simulated; jobs/repeat invariant
+    double bestSeconds = 0.0;   ///< min host wall time over repeats
+    double mips = 0.0;          ///< retiredInsts / bestSeconds / 1e6
+    double cyclesPerSec = 0.0;
+};
+
+/** Host fingerprint: enough to interpret a committed number without
+ *  pretending wall-clock results are portable between machines. */
+struct ThroughputMachine
+{
+    unsigned hostThreads = 0;
+    unsigned pointerBits = 0;
+    std::string compiler;
+    std::string buildType;
+
+    /** The machine this process is running on. */
+    static ThroughputMachine current();
+};
+
+/** The reference measurement a report is tracked against (the
+ *  pre-change number, so a committed report carries *both* sides of
+ *  its before/after claim). */
+struct ThroughputBaseline
+{
+    bool present = false;
+    std::string note;           ///< what/where the baseline measured
+    double geomeanMips = 0.0;
+};
+
+/** A full suite measurement, 1:1 with the JSON document. */
+struct ThroughputReport
+{
+    unsigned jobs = 1;
+    uint64_t repeat = 1;
+    uint64_t scale = 1;
+    ThroughputMachine machine;
+    double suiteWallSeconds = 0.0;
+    double geomeanMips = 0.0;
+    double geomeanCyclesPerSec = 0.0;
+    ThroughputBaseline baseline;
+    std::vector<ThroughputCell> cells;
+
+    /** Cell for (workload, mode), or nullptr. */
+    const ThroughputCell *find(const std::string &workload,
+                               const std::string &mode) const;
+};
+
+/**
+ * Time every cell of @p batch (job names are "workload/mode") with
+ * @p jobs workers, @p repeat suite repetitions keeping per-cell
+ * minimum wall time. Fills cells, geomeans, suiteWallSeconds, jobs,
+ * repeat and the machine fingerprint of @p out (scale and baseline
+ * are the caller's). @return false — with @p err set — when a cell
+ * fails or its simulated counters differ between repeats.
+ */
+bool measureThroughput(const std::vector<BatchJob> &batch,
+                       unsigned jobs, uint64_t repeat,
+                       ThroughputReport &out,
+                       std::string *err = nullptr);
+
+/** Canonical ssmt-throughput-v1 serialization of @p report. */
+std::string throughputJson(const ThroughputReport &report);
+
+/** Parse an ssmt-throughput-v1 document. @return true on success;
+ *  @p err receives the reason otherwise. */
+bool parseThroughput(const std::string &text, ThroughputReport &out,
+                     std::string *err = nullptr);
+
+/** One cell whose throughput fell below the baseline tolerance. */
+struct ThroughputDelta
+{
+    std::string workload;
+    std::string mode;
+    double baselineMips = 0.0;
+    double currentMips = 0.0;
+
+    /** current/baseline; < 1 is a slowdown. */
+    double
+    ratio() const
+    {
+        return baselineMips > 0.0 ? currentMips / baselineMips : 0.0;
+    }
+};
+
+/**
+ * ssmt_statsdiff-style advisory comparison: every cell present in
+ * both reports whose current MIPS is below
+ * baseline * (1 - @p tolerance), in baseline cell order. Wall-clock
+ * quantities only — callers gate on the *simulated* counters
+ * elsewhere; this list is for flagging, not failing (host noise on
+ * shared CI runners makes hard wall-clock gates flaky).
+ */
+std::vector<ThroughputDelta>
+throughputRegressions(const ThroughputReport &current,
+                      const ThroughputReport &baseline,
+                      double tolerance);
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_THROUGHPUT_REPORT_HH

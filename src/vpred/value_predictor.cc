@@ -20,52 +20,6 @@ ValuePredictor::ValuePredictor(uint64_t num_entries, int confidence_max,
                 "confidence threshold above saturation point");
 }
 
-const ValuePredictor::Entry *
-ValuePredictor::find(uint64_t pc) const
-{
-    const Entry &entry = table_[pc & mask_];
-    if (entry.valid && entry.tag == pc)
-        return &entry;
-    return nullptr;
-}
-
-void
-ValuePredictor::train(uint64_t pc, uint64_t value)
-{
-    trainings_++;
-    Entry &entry = table_[pc & mask_];
-    if (!entry.valid || entry.tag != pc) {
-        entry = Entry{true, pc, value, 0, 0};
-        return;
-    }
-    int64_t new_stride = static_cast<int64_t>(value - entry.lastValue);
-    if (new_stride == entry.stride) {
-        if (entry.conf < confMax_)
-            entry.conf++;
-    } else {
-        entry.stride = new_stride;
-        entry.conf = 0;
-    }
-    entry.lastValue = value;
-}
-
-uint64_t
-ValuePredictor::predict(uint64_t pc, uint64_t ahead) const
-{
-    const Entry *entry = find(pc);
-    if (!entry)
-        return 0;
-    return entry->lastValue +
-           static_cast<uint64_t>(entry->stride) * ahead;
-}
-
-bool
-ValuePredictor::confident(uint64_t pc) const
-{
-    const Entry *entry = find(pc);
-    return entry && entry->conf >= confThresh_;
-}
-
 int
 ValuePredictor::confidence(uint64_t pc) const
 {
@@ -128,3 +82,4 @@ static_assert(sim::SnapshotterLike<ValuePredictor>);
 
 } // namespace vpred
 } // namespace ssmt
+

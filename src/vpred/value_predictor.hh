@@ -44,21 +44,57 @@ class ValuePredictor
                             int confidence_max = 7,
                             int confidence_thresh = 4);
 
+    // train() runs twice per retired register-writing instruction
+    // (value and address instance) and confident() twice more, so
+    // the direct-mapped probe lives in the header.
+
     /**
      * Train with a retired instance of static instruction @p pc
      * producing @p value. Stride agreement raises confidence; a
      * stride change re-learns the stride and zeroes confidence.
      */
-    void train(uint64_t pc, uint64_t value);
+    void
+    train(uint64_t pc, uint64_t value)
+    {
+        trainings_++;
+        Entry &entry = table_[pc & mask_];
+        if (!entry.valid || entry.tag != pc) {
+            entry = Entry{true, pc, value, 0, 0};
+            return;
+        }
+        int64_t new_stride =
+            static_cast<int64_t>(value - entry.lastValue);
+        if (new_stride == entry.stride) {
+            if (entry.conf < confMax_)
+                entry.conf++;
+        } else {
+            entry.stride = new_stride;
+            entry.conf = 0;
+        }
+        entry.lastValue = value;
+    }
 
     /**
      * Predict the value of the instance @p ahead occurrences after
      * the last trained one (ahead >= 1).
      */
-    uint64_t predict(uint64_t pc, uint64_t ahead = 1) const;
+    uint64_t
+    predict(uint64_t pc, uint64_t ahead = 1) const
+    {
+        const Entry *entry = find(pc);
+        if (!entry)
+            return 0;
+        return entry->lastValue +
+               static_cast<uint64_t>(entry->stride) * ahead;
+    }
 
     /** @return true if @p pc currently predicts confidently. */
-    bool confident(uint64_t pc) const;
+    bool
+    confident(uint64_t pc) const
+    {
+        const Entry *entry = find(pc);
+        return entry && entry->conf >= confThresh_;
+    }
 
     /** Current confidence counter value (for tests). */
     int confidence(uint64_t pc) const;
@@ -87,10 +123,18 @@ class ValuePredictor
     int confThresh_;
     uint64_t trainings_ = 0;
 
-    const Entry *find(uint64_t pc) const;
+    const Entry *
+    find(uint64_t pc) const
+    {
+        const Entry &entry = table_[pc & mask_];
+        if (entry.valid && entry.tag == pc)
+            return &entry;
+        return nullptr;
+    }
 };
 
 } // namespace vpred
 } // namespace ssmt
 
 #endif // SSMT_VPRED_VALUE_PREDICTOR_HH
+

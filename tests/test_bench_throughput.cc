@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the throughput-benchmark harness
+ * (sim/throughput_report.hh, the engine behind
+ * bench/bench_throughput.cc): the ssmt-throughput-v1 emit/parse
+ * round trip, --jobs invariance of the reported *simulated* counts
+ * (wall-clock fields are explicitly not compared), the advisory
+ * tolerance comparison CI runs against the committed baseline, and
+ * the committed results/BENCH_throughput.json itself — which must
+ * parse and carry both sides of its before/after claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/golden.hh"
+#include "sim/throughput_report.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+sim::ThroughputReport
+fabricatedReport()
+{
+    sim::ThroughputReport report;
+    report.jobs = 1;
+    report.repeat = 3;
+    report.scale = 2;
+    report.machine.hostThreads = 8;
+    report.machine.pointerBits = 64;
+    report.machine.compiler = "gcc 12.2.0";
+    report.machine.buildType = "release";
+    report.suiteWallSeconds = 12.25;
+    report.geomeanMips = 4.5;
+    report.geomeanCyclesPerSec = 3.25e6;
+    report.baseline.present = true;
+    report.baseline.note = "pre-change reference";
+    report.baseline.geomeanMips = 2.25;
+    sim::ThroughputCell a;
+    a.workload = "go";
+    a.mode = "baseline";
+    a.retiredInsts = 300405;
+    a.cycles = 390128;
+    a.bestSeconds = 0.0712;
+    a.mips = 4.22;
+    a.cyclesPerSec = 5.48e6;
+    sim::ThroughputCell b;
+    b.workload = "mcf_2k";
+    b.mode = "microthread";
+    b.retiredInsts = 2000;
+    b.cycles = 4096;
+    b.bestSeconds = 0.25;
+    b.mips = 0.008;
+    b.cyclesPerSec = 16384;
+    report.cells = {a, b};
+    return report;
+}
+
+TEST(ThroughputReport, JsonEmitParseRoundTrip)
+{
+    sim::ThroughputReport in = fabricatedReport();
+    std::string doc = sim::throughputJson(in);
+
+    sim::ThroughputReport out;
+    std::string err;
+    ASSERT_TRUE(sim::parseThroughput(doc, out, &err)) << err;
+    EXPECT_EQ(out.jobs, in.jobs);
+    EXPECT_EQ(out.repeat, in.repeat);
+    EXPECT_EQ(out.scale, in.scale);
+    EXPECT_EQ(out.machine.hostThreads, in.machine.hostThreads);
+    EXPECT_EQ(out.machine.pointerBits, in.machine.pointerBits);
+    EXPECT_EQ(out.machine.compiler, in.machine.compiler);
+    EXPECT_EQ(out.machine.buildType, in.machine.buildType);
+    EXPECT_TRUE(out.baseline.present);
+    EXPECT_EQ(out.baseline.note, in.baseline.note);
+    EXPECT_DOUBLE_EQ(out.baseline.geomeanMips,
+                     in.baseline.geomeanMips);
+    ASSERT_EQ(out.cells.size(), in.cells.size());
+    for (size_t i = 0; i < in.cells.size(); i++) {
+        EXPECT_EQ(out.cells[i].workload, in.cells[i].workload);
+        EXPECT_EQ(out.cells[i].mode, in.cells[i].mode);
+        EXPECT_EQ(out.cells[i].retiredInsts,
+                  in.cells[i].retiredInsts);
+        EXPECT_EQ(out.cells[i].cycles, in.cells[i].cycles);
+    }
+    // Re-emission is byte-stable: parse . emit is the identity on
+    // emitted documents.
+    EXPECT_EQ(sim::throughputJson(out), doc);
+}
+
+TEST(ThroughputReport, BaselineObjectIsOptional)
+{
+    sim::ThroughputReport in = fabricatedReport();
+    in.baseline = sim::ThroughputBaseline{};
+    std::string doc = sim::throughputJson(in);
+    EXPECT_EQ(doc.find("\"baseline\":"), std::string::npos);
+    sim::ThroughputReport out;
+    ASSERT_TRUE(sim::parseThroughput(doc, out));
+    EXPECT_FALSE(out.baseline.present);
+    EXPECT_EQ(sim::throughputJson(out), doc);
+}
+
+TEST(ThroughputReport, ParseRejectsBadDocuments)
+{
+    sim::ThroughputReport out;
+    std::string err;
+    EXPECT_FALSE(sim::parseThroughput("", out, &err));
+    EXPECT_FALSE(sim::parseThroughput("[]", out, &err));
+    EXPECT_FALSE(sim::parseThroughput(
+        "{\"schema\": \"ssmt-bench-v1\", \"cells\": []}", out, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+    EXPECT_FALSE(sim::parseThroughput(
+        "{\"schema\": \"ssmt-throughput-v1\"}", out, &err));
+    EXPECT_NE(err.find("cells"), std::string::npos);
+    // A cell without a workload name is an error, not a silent skip.
+    EXPECT_FALSE(sim::parseThroughput(
+        "{\"schema\": \"ssmt-throughput-v1\", \"cells\": [{}]}", out,
+        &err));
+}
+
+TEST(ThroughputReport, JobsInvarianceOfSimulatedCounts)
+{
+    // The quantity a committed report tracks is the *simulated* work
+    // per cell; only wall-clock may vary with the worker count. Same
+    // matrix, 1 worker vs 4.
+    const std::vector<std::string> names = {"comp", "mcf_2k", "go"};
+    const std::vector<sim::Mode> modes = {sim::Mode::Baseline,
+                                          sim::Mode::Microthread};
+    std::vector<sim::BatchJob> batch;
+    for (const std::string &name : names) {
+        isa::Program prog = workloads::makeWorkload(name);
+        for (sim::Mode mode : modes) {
+            sim::MachineConfig cfg = sim::goldenMachineConfig();
+            cfg.mode = mode;
+            batch.push_back(
+                {name + "/" + sim::modeName(mode), prog, cfg});
+        }
+    }
+    sim::ThroughputReport serial, parallel;
+    std::string err;
+    ASSERT_TRUE(
+        sim::measureThroughput(batch, 1, 1, serial, &err)) << err;
+    ASSERT_TRUE(
+        sim::measureThroughput(batch, 4, 1, parallel, &err)) << err;
+    EXPECT_EQ(serial.jobs, 1u);
+    EXPECT_EQ(parallel.jobs, 4u);
+    ASSERT_EQ(serial.cells.size(), batch.size());
+    ASSERT_EQ(parallel.cells.size(), batch.size());
+    for (size_t i = 0; i < serial.cells.size(); i++) {
+        SCOPED_TRACE(batch[i].name);
+        EXPECT_EQ(serial.cells[i].workload,
+                  parallel.cells[i].workload);
+        EXPECT_EQ(serial.cells[i].mode, parallel.cells[i].mode);
+        // Simulated counters: exact. Wall-clock fields
+        // (bestSeconds, mips, cyclesPerSec): excluded by design.
+        EXPECT_EQ(serial.cells[i].retiredInsts,
+                  parallel.cells[i].retiredInsts);
+        EXPECT_EQ(serial.cells[i].cycles, parallel.cells[i].cycles);
+    }
+}
+
+TEST(ThroughputReport, RepeatCrossChecksDeterminism)
+{
+    // repeat > 1 re-runs the suite and requires identical simulated
+    // counters; a clean simulator passes and keeps minimum times.
+    std::vector<sim::BatchJob> batch;
+    batch.push_back({"comp/baseline", workloads::makeWorkload("comp"),
+                     sim::goldenMachineConfig()});
+    sim::ThroughputReport report;
+    std::string err;
+    ASSERT_TRUE(sim::measureThroughput(batch, 1, 2, report, &err))
+        << err;
+    ASSERT_EQ(report.cells.size(), 1u);
+    EXPECT_GT(report.cells[0].retiredInsts, 0u);
+    EXPECT_GT(report.cells[0].mips, 0.0);
+    EXPECT_EQ(report.repeat, 2u);
+}
+
+TEST(ThroughputReport, RegressionCompareFlagsOnlyBeyondTolerance)
+{
+    sim::ThroughputReport baseline = fabricatedReport();
+    sim::ThroughputReport current = baseline;
+
+    // Identical: nothing flagged at any tolerance.
+    EXPECT_TRUE(
+        sim::throughputRegressions(current, baseline, 0.0).empty());
+
+    // 20% slowdown on one cell: flagged at 10%, not at 30%.
+    current.cells[0].mips = baseline.cells[0].mips * 0.8;
+    auto strict =
+        sim::throughputRegressions(current, baseline, 0.1);
+    ASSERT_EQ(strict.size(), 1u);
+    EXPECT_EQ(strict[0].workload, "go");
+    EXPECT_EQ(strict[0].mode, "baseline");
+    EXPECT_NEAR(strict[0].ratio(), 0.8, 1e-9);
+    EXPECT_TRUE(
+        sim::throughputRegressions(current, baseline, 0.3).empty());
+
+    // Cells missing from the current report are skipped, not
+    // treated as regressions (the smoke run measures a subset).
+    current.cells.erase(current.cells.begin());
+    EXPECT_TRUE(
+        sim::throughputRegressions(current, baseline, 0.1).empty());
+}
+
+TEST(ThroughputReport, CommittedBaselineCarriesBothMeasurements)
+{
+    // The acceptance contract on results/BENCH_throughput.json: a
+    // parseable single-threaded full-matrix report whose "baseline"
+    // object records the pre-change reference it is compared to.
+    std::ifstream file(std::string(SSMT_RESULTS_DIR) +
+                       "/BENCH_throughput.json");
+    ASSERT_TRUE(file.good())
+        << "results/BENCH_throughput.json missing";
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    sim::ThroughputReport report;
+    std::string err;
+    ASSERT_TRUE(sim::parseThroughput(buffer.str(), report, &err))
+        << err;
+    EXPECT_EQ(report.jobs, 1u) << "committed numbers must be "
+                                  "single-threaded";
+    EXPECT_GT(report.geomeanMips, 0.0);
+    // Full matrix: every workload under the four tracked modes.
+    EXPECT_EQ(report.cells.size(),
+              workloads::workloadNames().size() * 4);
+    ASSERT_TRUE(report.baseline.present)
+        << "report must record the pre-change reference";
+    EXPECT_GT(report.baseline.geomeanMips, 0.0);
+    EXPECT_FALSE(report.baseline.note.empty());
+}
+
+} // namespace

@@ -73,7 +73,8 @@ TEST(MicroRamTest, SpawnIndexGroupsByPc)
     EXPECT_TRUE(ram.routinesAt(300).empty());
     ram.remove(1);
     ASSERT_EQ(ram.routinesAt(100).size(), 1u);
-    EXPECT_EQ(ram.routinesAt(100)[0], 2u);
+    EXPECT_EQ(ram.routinesAt(100)[0].id, 2u);
+    EXPECT_EQ(ram.routinesAt(100)[0].thread.get(), ram.find(2));
 }
 
 TEST(MicroRamTest, SharedHandleOutlivesRemoval)

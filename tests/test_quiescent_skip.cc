@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Perf-identity suite for event-driven quiescent-cycle skipping
+ * (SsmtCore::fastForward): for every workload under every mechanism
+ * mode, a run that skips quiescent cycles must be *byte-identical*
+ * to a tick-by-tick run on every observable artifact —
+ *
+ *   - the golden stats document (ssmt-golden-v1),
+ *   - the interval time-series (ssmt-series-v1), whose due points
+ *     the skipper must land on exactly,
+ *   - a machine checkpoint captured at a fixed mid-run cycle
+ *     (ssmt-snapshot-v1 component serialization), which also round
+ *     trips: resuming from it finishes with the tick-by-tick stats.
+ *
+ * This is the contract that lets the cycle loop get faster without
+ * the goldens ever being re-blessed; the suite carries the
+ * `perf-identity` ctest label so CI can name it (tier-1 runs it via
+ * discovery, the sanitizer preset runs the microthread sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cpu/ssmt_core.hh"
+#include "sim/golden.hh"
+#include "sim/metrics.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+/** Mid-run checkpoint cycle: late enough that microthreads are in
+ *  flight under the mechanism modes, early enough that every
+ *  workload is still running. Runs that finish sooner simply skip
+ *  the snapshot leg (consistently in both runs). */
+constexpr uint64_t kSnapCycle = 1500;
+
+std::string
+coreSnapshotText(const cpu::SsmtCore &core)
+{
+    sim::SnapshotWriter w;
+    w.beginObject();
+    core.save(w);
+    w.endObject();
+    return w.text();
+}
+
+std::string
+goldenText(const std::string &workload, const sim::Stats &stats)
+{
+    return sim::goldenJson(
+        sim::GoldenRun{workload, sim::kGoldenConfigName, stats});
+}
+
+struct RunCapture
+{
+    std::string golden;
+    std::string series;
+    std::string snapshot;   ///< empty when the run ended early
+};
+
+/** Drive @p core with the external tick loop, optionally calling
+ *  fastForward between ticks, capturing a checkpoint at kSnapCycle. */
+RunCapture
+driveRun(cpu::SsmtCore &core, const sim::MachineConfig &cfg,
+         const std::string &workload, bool skip_quiescent)
+{
+    RunCapture cap;
+    while (!core.done() && core.cycle() < cfg.maxCycles &&
+           core.retiredInsts() < cfg.maxInsts) {
+        if (skip_quiescent) {
+            // Never skip past the checkpoint cycle: the capture
+            // below must observe it exactly (the same arming logic
+            // sim_runner uses for mid-run checkpoints).
+            bool armed = core.cycle() < kSnapCycle;
+            core.fastForward(armed ? kSnapCycle : cfg.maxCycles);
+        }
+        core.tick();
+        if (core.cycle() == kSnapCycle)
+            cap.snapshot = coreSnapshotText(core);
+    }
+    cap.golden = goldenText(workload, core.finish());
+    cap.series = sim::seriesJson(core.series());
+    return cap;
+}
+
+void
+expectSkipIdentity(sim::Mode mode)
+{
+    for (const std::string &name : workloads::workloadNames()) {
+        SCOPED_TRACE(name);
+        isa::Program prog = workloads::makeWorkload(name);
+        sim::MachineConfig cfg = sim::goldenMachineConfig();
+        cfg.mode = mode;
+        // Sampling on, at an interval that does not divide
+        // kSnapCycle: skip targets must respect due points that are
+        // unrelated to the checkpoint arming.
+        cfg.sampleInterval = 700;
+
+        cpu::SsmtCore plain(prog, cfg);
+        RunCapture tick_by_tick = driveRun(plain, cfg, name, false);
+
+        cpu::SsmtCore skipping(prog, cfg);
+        RunCapture skipped = driveRun(skipping, cfg, name, true);
+
+        // Byte-identity of every observable artifact.
+        EXPECT_EQ(skipped.golden, tick_by_tick.golden);
+        EXPECT_EQ(skipped.series, tick_by_tick.series);
+        ASSERT_EQ(skipped.snapshot, tick_by_tick.snapshot);
+
+        // Checkpoint round trip: resume the skipping run's snapshot
+        // into a fresh core, finish (with skipping), and land on the
+        // tick-by-tick stats.
+        if (!skipped.snapshot.empty()) {
+            cpu::SsmtCore resumed(prog, cfg);
+            sim::SnapshotReader r(skipped.snapshot);
+            resumed.restore(r);
+            EXPECT_EQ(resumed.cycle(), kSnapCycle);
+            while (!resumed.done() &&
+                   resumed.cycle() < cfg.maxCycles &&
+                   resumed.retiredInsts() < cfg.maxInsts) {
+                resumed.fastForward(cfg.maxCycles);
+                resumed.tick();
+            }
+            EXPECT_EQ(goldenText(name, resumed.finish()),
+                      tick_by_tick.golden);
+        }
+    }
+}
+
+TEST(QuiescentSkip, BaselineMode)
+{
+    expectSkipIdentity(sim::Mode::Baseline);
+}
+
+TEST(QuiescentSkip, OracleDifficultPathMode)
+{
+    expectSkipIdentity(sim::Mode::OracleDifficultPath);
+}
+
+TEST(QuiescentSkip, MicrothreadMode)
+{
+    expectSkipIdentity(sim::Mode::Microthread);
+}
+
+TEST(QuiescentSkip, MicrothreadNoPredictionsMode)
+{
+    expectSkipIdentity(sim::Mode::MicrothreadNoPredictions);
+}
+
+TEST(QuiescentSkip, RunEntryPointSkipsAndMatchesExternalLoop)
+{
+    // SsmtCore::run() fast-forwards internally; the external
+    // tick-by-tick loop must land on the same stats document. This
+    // is the equivalence sim_runner's two drivers rest on.
+    isa::Program prog = workloads::makeWorkload("mcf_2k");
+    sim::MachineConfig cfg = sim::goldenMachineConfig();
+    cfg.sampleInterval = 700;
+
+    cpu::SsmtCore internal(prog, cfg);
+    internal.run();
+    std::string internal_golden =
+        goldenText("mcf_2k", internal.stats());
+
+    cpu::SsmtCore external(prog, cfg);
+    RunCapture cap = driveRun(external, cfg, "mcf_2k", false);
+    EXPECT_EQ(internal_golden, cap.golden);
+    EXPECT_EQ(sim::seriesJson(internal.series()), cap.series);
+}
+
+} // namespace

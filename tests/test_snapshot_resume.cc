@@ -232,3 +232,4 @@ TEST(SnapshotResume, ResumedBatchesAgreeAcrossJobCounts)
 }
 
 } // namespace
+

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace ssmt
 {
@@ -132,6 +133,21 @@ ArgParser::usage(int status) const
     std::exit(status);
 }
 
+unsigned
+jobsFlag(const ArgParser &args, const std::string &flag)
+{
+    if (!args.has(flag))
+        return 0;   // auto: SSMT_JOBS, then hardware_concurrency()
+    if (args.str(flag) == "auto") {
+        unsigned cores = std::thread::hardware_concurrency();
+        return cores ? cores : 1;
+    }
+    uint64_t jobs = args.u64(flag);
+    if (jobs == 0)
+        args.fail(flag + " must be >= 1 (or 'auto')");
+    return static_cast<unsigned>(jobs);
+}
+
 std::vector<std::string>
 splitCommas(const std::string &arg)
 {
@@ -208,3 +224,4 @@ resolveWorkloads(const std::vector<std::string> &names,
 
 } // namespace cli
 } // namespace ssmt
+

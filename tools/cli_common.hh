@@ -106,6 +106,17 @@ class ArgParser
     const FlagSpec *findSpec(const std::string &arg) const;
 };
 
+/**
+ * Resolve a `--jobs N|auto` flag. The default (flag absent) and the
+ * explicit "auto" spelling both mean "use every core": auto maps to
+ * std::thread::hardware_concurrency(), an absent flag defers to the
+ * BatchRunner resolution chain (SSMT_JOBS, then hardware
+ * concurrency) so the environment override keeps working. A literal
+ * 0 or malformed number exits 2.
+ */
+unsigned jobsFlag(const ArgParser &args,
+                  const std::string &flag = "--jobs");
+
 /** Split "a,b,c" into {"a","b","c"}, dropping empty segments. */
 std::vector<std::string> splitCommas(const std::string &arg);
 
@@ -130,3 +141,4 @@ resolveWorkloads(const std::vector<std::string> &names,
 } // namespace ssmt
 
 #endif // SSMT_TOOLS_CLI_COMMON_HH
+

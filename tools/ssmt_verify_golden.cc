@@ -332,3 +332,4 @@ main(int argc, char **argv)
         return 2;
     return drifted_counters || differential_failures ? 1 : 0;
 }
+
