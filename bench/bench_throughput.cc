@@ -89,19 +89,21 @@ const char kUsage[] =
     "               earlier ssmt-throughput-v1 file (never fatal);\n"
     "               --tolerance is the allowed fraction (default 0.3)\n";
 
-constexpr sim::Mode kAllModes[] = {
-    sim::Mode::Baseline, sim::Mode::OracleDifficultPath,
-    sim::Mode::Microthread, sim::Mode::MicrothreadNoPredictions,
-    sim::Mode::OracleAllBranches};
+std::vector<std::string>
+allModeNames()
+{
+    std::vector<std::string> names;
+    for (sim::Mode mode : sim::allModes())
+        names.push_back(sim::modeName(mode));
+    return names;
+}
 
 sim::Mode
 modeFromName(const std::string &name)
 {
-    for (sim::Mode mode : kAllModes) {
-        if (name == sim::modeName(mode))
-            return mode;
-    }
-    return sim::Mode::Baseline;     // parseOptions validated already
+    sim::Mode mode = sim::Mode::Baseline;
+    sim::parseMode(name, &mode);    // parseOptions validated already
+    return mode;
 }
 
 Options
@@ -137,21 +139,15 @@ parseOptions(int argc, char **argv)
     if (args.has("--modes")) {
         std::string text = args.str("--modes");
         opt.modes = text == "all"
-                        ? std::vector<std::string>{
-                              "baseline", "oracle-difficult-path",
-                              "microthread",
-                              "microthread-no-predictions",
-                              "oracle-all-branches"}
+                        ? allModeNames()
                         : cli::splitCommas(text);
     }
     if (opt.modes.empty())
         opt.modes = {"baseline", "oracle-difficult-path",
                      "microthread", "microthread-no-predictions"};
     for (const std::string &name : opt.modes) {
-        bool known = false;
-        for (sim::Mode mode : kAllModes)
-            known = known || name == sim::modeName(mode);
-        if (!known)
+        sim::Mode mode;
+        if (!sim::parseMode(name, &mode))
             args.fail("unknown mode '" + name + "'");
     }
     opt.repeat = args.u64("--repeat", opt.repeat);

@@ -175,12 +175,23 @@ class SuiteRun
     std::chrono::steady_clock::time_point start_;
 };
 
+/** SSMT_ISOLATE=1 routes every bench cell through the subprocess
+ *  isolation path (sandboxed child per cell). Counters are identical
+ *  either way; only the host timings differ. */
+inline bool
+isolateRequested()
+{
+    const char *env = std::getenv("SSMT_ISOLATE");
+    return env && *env != '\0' && std::string(env) != "0";
+}
+
 /**
  * Run every (workload, variant) cell across the pool and return the
  * results as [workload][variant], recording each cell into @p json.
  * Program construction happens inside the cell so it parallelizes
  * with the simulation. Results are identical to the serial loops the
- * benches used to run, independent of the worker count.
+ * benches used to run, independent of the worker count — and of
+ * whether SSMT_ISOLATE rides the cells in child processes.
  */
 inline std::vector<std::vector<sim::BatchResult>>
 runMatrix(const std::vector<workloads::WorkloadInfo> &suite,
@@ -190,22 +201,46 @@ runMatrix(const std::vector<workloads::WorkloadInfo> &suite,
     sim::BatchRunner runner(args.jobs);
     std::vector<std::vector<sim::BatchResult>> results(
         suite.size(), std::vector<sim::BatchResult>(variants.size()));
-    runner.forEach(suite.size() * variants.size(), [&](size_t cell) {
-        size_t w = cell / variants.size();
-        size_t v = cell % variants.size();
-        auto start = std::chrono::steady_clock::now();
-        results[w][v].stats =
-            sim::runProgram(suite[w].make({}), variants[v].cfg);
-        // Name the cell in the invariant diagnostic; runProgram's own
-        // check only knows the mode.
-        sim::StatsChecker::enforce(results[w][v].stats,
-                                   suite[w].name + "/" +
-                                       variants[v].name);
-        results[w][v].hostSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-    });
+    if (isolateRequested()) {
+        std::vector<sim::BatchJob> batch;
+        batch.reserve(suite.size() * variants.size());
+        for (const auto &info : suite)
+            for (const ConfigVariant &variant : variants)
+                batch.push_back({info.name + "/" + variant.name,
+                                 info.make({}), variant.cfg});
+        sim::BatchPolicy policy;
+        policy.isolate = true;
+        std::vector<sim::BatchResult> flat =
+            runner.run(batch, policy);
+        for (size_t cell = 0; cell < flat.size(); cell++) {
+            if (!flat[cell].ok()) {
+                std::fprintf(stderr, "[bench] %s failed: %s\n",
+                             batch[cell].name.c_str(),
+                             flat[cell].error.c_str());
+                std::exit(1);
+            }
+            results[cell / variants.size()][cell % variants.size()] =
+                std::move(flat[cell]);
+        }
+    } else {
+        runner.forEach(
+            suite.size() * variants.size(), [&](size_t cell) {
+                size_t w = cell / variants.size();
+                size_t v = cell % variants.size();
+                auto start = std::chrono::steady_clock::now();
+                results[w][v].stats = sim::runProgram(
+                    suite[w].make({}), variants[v].cfg);
+                // Name the cell in the invariant diagnostic;
+                // runProgram's own check only knows the mode.
+                sim::StatsChecker::enforce(results[w][v].stats,
+                                           suite[w].name + "/" +
+                                               variants[v].name);
+                results[w][v].hostSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            });
+    }
     for (size_t w = 0; w < suite.size(); w++)
         for (size_t v = 0; v < variants.size(); v++)
             json.addRun(suite[w].name, variants[v].name,

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/proc_runner.hh"
 #include "sim/sim_runner.hh"
 
 namespace ssmt
@@ -27,6 +28,33 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 } // namespace
+
+const char *
+crashKindName(CrashKind kind)
+{
+    switch (kind) {
+      case CrashKind::None:  return "none";
+      case CrashKind::Segv:  return "segv";
+      case CrashKind::Abort: return "abort";
+      case CrashKind::Oom:   return "oom";
+      case CrashKind::Hang:  return "hang";
+      case CrashKind::Exit:  return "exit";
+    }
+    return "?";
+}
+
+bool
+parseCrashKind(const std::string &name, CrashKind *out)
+{
+    for (int i = 0; i <= static_cast<int>(CrashKind::Exit); i++) {
+        CrashKind kind = static_cast<CrashKind>(i);
+        if (name == crashKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
 
 BatchRunner::BatchRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
 {
@@ -127,71 +155,117 @@ BatchRunner::failureSummary(const std::vector<BatchJob> &batch,
     return out;
 }
 
+namespace detail
+{
+
+bool
+runAttempt(const BatchJob &job, const BatchPolicy &policy,
+           unsigned attempt, std::string &checkpoint,
+           BatchResult &result)
+{
+    MachineConfig config = job.config;
+    bool resuming = policy.resumeOnWatchdog && !checkpoint.empty();
+    if (!resuming && policy.reseedFaultsOnRetry &&
+        config.faults.enabled()) {
+        config.faults.seed =
+            BatchRunner::retrySeed(job.config.faults.seed, attempt);
+    }
+    uint64_t budget = policy.cycleBudget;
+    uint64_t snapshot_at = 0;
+    if (policy.resumeOnWatchdog && policy.cycleBudget > 0) {
+        // Each slice extends the absolute budget; checkpoint
+        // exactly at the boundary so a tripped watchdog
+        // leaves a resumable snapshot in the artifacts.
+        budget = policy.cycleBudget * (attempt + 1);
+        snapshot_at = std::min(config.maxCycles, budget);
+    }
+    result.attempts = attempt + 1;
+    try {
+        result.stats = runProgramChecked(
+            job.program, config, job.name, budget, &result.faults,
+            &result.artifacts, snapshot_at,
+            resuming ? &checkpoint : nullptr);
+        result.error.clear();
+        result.errorCode = ErrorCode::None;
+        return true;
+    } catch (const SimError &err) {
+        result.error = err.what();
+        result.errorCode = err.code();
+        if (policy.resumeOnWatchdog &&
+            err.code() == ErrorCode::WatchdogExpired &&
+            !result.artifacts.snapshot.empty()) {
+            checkpoint = std::move(result.artifacts.snapshot);
+        }
+        return !err.recoverable();
+    } catch (const std::exception &err) {
+        result.error = err.what();
+        result.errorCode = ErrorCode::Internal;
+        return true;
+    } catch (...) {
+        result.error = "unknown exception";
+        result.errorCode = ErrorCode::Internal;
+        return true;
+    }
+}
+
+} // namespace detail
+
 std::vector<BatchResult>
 BatchRunner::run(const std::vector<BatchJob> &batch,
-                 const BatchPolicy &policy) const
+                 const BatchPolicy &policy,
+                 const ResultHook &onResult) const
 {
+    if (policy.isolate)
+        return runBatchIsolated(batch, policy, jobs_, onResult);
+
     std::vector<BatchResult> results(batch.size());
     forEach(batch.size(), [&](size_t i) {
+        if (policy.cancel &&
+            policy.cancel->load(std::memory_order_relaxed)) {
+            // Leave the default slot (attempts == 0): the job was
+            // never started, and onResult must not see it.
+            return;
+        }
         BatchResult &result = results[i];
         auto start = std::chrono::steady_clock::now();
-        // Checkpoint harvested from a watchdog-expired attempt; a
-        // non-empty value turns the next attempt into a resume.
-        std::string checkpoint;
-        for (unsigned attempt = 0; attempt <= policy.maxRetries;
-             attempt++) {
-            MachineConfig config = batch[i].config;
-            bool resuming =
-                policy.resumeOnWatchdog && !checkpoint.empty();
-            if (!resuming && policy.reseedFaultsOnRetry &&
-                config.faults.enabled()) {
-                config.faults.seed =
-                    retrySeed(batch[i].config.faults.seed, attempt);
-            }
-            uint64_t budget = policy.cycleBudget;
-            uint64_t snapshot_at = 0;
-            if (policy.resumeOnWatchdog && policy.cycleBudget > 0) {
-                // Each slice extends the absolute budget; checkpoint
-                // exactly at the boundary so a tripped watchdog
-                // leaves a resumable snapshot in the artifacts.
-                budget = policy.cycleBudget * (attempt + 1);
-                snapshot_at = std::min(config.maxCycles, budget);
-            }
-            result.attempts = attempt + 1;
-            try {
-                result.stats = runProgramChecked(
-                    batch[i].program, config, batch[i].name, budget,
-                    &result.faults, &result.artifacts, snapshot_at,
-                    resuming ? &checkpoint : nullptr);
-                result.error.clear();
-                result.errorCode = ErrorCode::None;
-                break;
-            } catch (const SimError &err) {
-                result.error = err.what();
-                result.errorCode = err.code();
-                if (policy.resumeOnWatchdog &&
-                    err.code() == ErrorCode::WatchdogExpired &&
-                    !result.artifacts.snapshot.empty()) {
-                    checkpoint =
-                        std::move(result.artifacts.snapshot);
+        if (batch[i].crash != CrashKind::None) {
+            // Crash injection only makes sense where the blast
+            // radius is one child process.
+            result.attempts = 1;
+            result.errorCode = ErrorCode::ConfigInvalid;
+            result.error =
+                std::string("[config-invalid] batch: crash "
+                            "injection ('") +
+                crashKindName(batch[i].crash) +
+                "') requires isolate mode";
+        } else {
+            auto warnBase = ssmt::detail::warnSiteCounts();
+            // Checkpoint harvested from a watchdog-expired attempt;
+            // a non-empty value turns the next attempt into a
+            // resume.
+            std::string checkpoint;
+            for (unsigned attempt = 0; attempt <= policy.maxRetries;
+                 attempt++) {
+                if (attempt > 0 && policy.backoffMs > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            policy.backoffMs
+                            << std::min(attempt - 1, 16u)));
                 }
-                if (!err.recoverable())
+                if (detail::runAttempt(batch[i], policy, attempt,
+                                       checkpoint, result))
                     break;
-            } catch (const std::exception &err) {
-                result.error = err.what();
-                result.errorCode = ErrorCode::Internal;
-                break;
-            } catch (...) {
-                result.error = "unknown exception";
-                result.errorCode = ErrorCode::Internal;
-                break;
             }
+            result.warnings = ssmt::detail::warnSiteDelta(
+                warnBase, ssmt::detail::warnSiteCounts());
         }
         result.hostSeconds = secondsSince(start);
         if (!result.ok()) {
             SSMT_WARN("batch job '" + batch[i].name + "' failed: " +
                       result.error);
         }
+        if (onResult)
+            onResult(i, result);
     });
     return results;
 }

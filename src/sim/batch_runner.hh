@@ -19,12 +19,14 @@
 #ifndef SSMT_SIM_BATCH_RUNNER_HH
 #define SSMT_SIM_BATCH_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "isa/program.hh"
 #include "sim/faultinject.hh"
+#include "sim/logging.hh"
 #include "sim/machine_config.hh"
 #include "sim/sim_error.hh"
 #include "sim/sim_runner.hh"
@@ -35,12 +37,39 @@ namespace ssmt
 namespace sim
 {
 
+/**
+ * Deliberate child-process failure, for testing crash containment.
+ * Honored only by the subprocess path (BatchPolicy::isolate): the
+ * child performs the named misbehavior *instead of* simulating, so a
+ * tier2-crash test can assert that a segfaulting, aborting,
+ * OOM-killed or hung cell becomes a typed error slot while every
+ * other cell completes. In-process runs refuse a crash-armed job
+ * with ErrorCode::ConfigInvalid rather than take down the whole
+ * batch.
+ */
+enum class CrashKind : uint8_t
+{
+    None,   ///< behave normally
+    Segv,   ///< dereference null (SIGSEGV)
+    Abort,  ///< std::abort() (SIGABRT)
+    Oom,    ///< allocate until the rlimit kills the child
+    Hang,   ///< loop forever (needs a wall deadline to be reaped)
+    Exit    ///< _exit(3) without reporting a result
+};
+
+const char *crashKindName(CrashKind kind);
+
+/** Parse "segv" etc.; @return false on an unknown name. */
+bool parseCrashKind(const std::string &name, CrashKind *out);
+
 /** One independent simulation cell. */
 struct BatchJob
 {
     std::string name;       ///< label carried through to reports
     isa::Program program;
     MachineConfig config;
+    /** Injected child failure (isolate mode only; see CrashKind). */
+    CrashKind crash = CrashKind::None;
 };
 
 /** The outcome of one BatchJob, in submission order. */
@@ -52,7 +81,8 @@ struct BatchResult
     std::string error;
     ErrorCode errorCode = ErrorCode::None;
     /** Simulation attempts consumed (1 on clean success; up to
-     *  1 + BatchPolicy::maxRetries on recoverable failures). */
+     *  1 + BatchPolicy::maxRetries on recoverable failures; 0 when
+     *  the batch was cancelled before this job started). */
     unsigned attempts = 0;
     /** What the job's fault plan did, if one was configured. */
     FaultStats faults;
@@ -60,6 +90,12 @@ struct BatchResult
      *  config.traceCapacity); empty when those knobs are off. Like
      *  Stats, bit-identical across worker counts. */
     RunArtifacts artifacts;
+    /** SSMT_WARN sites this job fired, with per-site totals
+     *  including the rate-limited tail. Exact in isolate mode (the
+     *  child is single-threaded); best-effort under concurrent
+     *  in-process workers, where sites shared between jobs may
+     *  attribute counts to whichever job observed them. */
+    std::vector<WarnSiteCount> warnings;
 
     bool ok() const { return errorCode == ErrorCode::None; }
 };
@@ -91,6 +127,40 @@ struct BatchPolicy
      * fingerprint).
      */
     bool resumeOnWatchdog = false;
+
+    // ---- Subprocess isolation (sim/proc_runner.hh) ----
+
+    /**
+     * Run every job in a sandboxed child process (fork, result back
+     * over a pipe as canonical ssmt-job-result-v1 JSON). A job that
+     * segfaults, aborts, OOMs or hangs becomes a JobCrashed/JobKilled
+     * error slot; the batch always completes. Clean jobs produce
+     * byte-identical BatchResults to an in-process run. The parent
+     * stays single-threaded in this mode (fork from a threaded
+     * process is not async-signal-safe), scheduling up to jobs()
+     * concurrent children instead of threads.
+     */
+    bool isolate = false;
+    /** Per-attempt wall-clock deadline for an isolated child; the
+     *  parent SIGKILLs past-due children (JobKilled). 0 = none. */
+    double wallDeadlineSeconds = 0.0;
+    /** RLIMIT_AS cap for an isolated child, in MiB; 0 = none. */
+    uint64_t memLimitMb = 0;
+    /** RLIMIT_CPU cap for an isolated child, in seconds; the kernel
+     *  SIGXCPUs a runaway child (JobKilled). 0 = none. */
+    uint64_t cpuLimitSeconds = 0;
+    /** Base delay before a retry; doubles per attempt (exponential
+     *  backoff: backoffMs, 2*backoffMs, ...). 0 = retry at once. */
+    unsigned backoffMs = 0;
+    /**
+     * Cooperative cancellation: when non-null and set, no *new* job
+     * is started (in-flight jobs finish and report). Cancelled jobs
+     * keep their default-constructed result slot (attempts == 0) and
+     * never reach an onResult callback — exactly the state a
+     * campaign journal sees after a mid-run kill, which is how the
+     * resume path is tested deterministically.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 class BatchRunner
@@ -129,13 +199,29 @@ class BatchRunner
      * a report-ready digest.
      */
     std::vector<BatchResult> run(const std::vector<BatchJob> &batch,
-                                 const BatchPolicy &policy) const;
+                                 const BatchPolicy &policy) const
+    {
+        return run(batch, policy, nullptr);
+    }
 
     std::vector<BatchResult>
     run(const std::vector<BatchJob> &batch) const
     {
         return run(batch, BatchPolicy{});
     }
+
+    /** Per-result completion hook: called once per *finished* job
+     *  (never for jobs skipped by policy.cancel), in completion
+     *  order, from whichever worker finished the job — synchronize
+     *  externally if it touches shared state. The campaign layer
+     *  journals and stores each cell from here, so durability is
+     *  per-cell, not per-batch. */
+    using ResultHook = std::function<void(size_t, const BatchResult &)>;
+
+    /** run() with a completion hook (see ResultHook). */
+    std::vector<BatchResult> run(const std::vector<BatchJob> &batch,
+                                 const BatchPolicy &policy,
+                                 const ResultHook &onResult) const;
 
     /** The fault seed used for attempt @p attempt of a job whose
      *  plan was seeded with @p seed (attempt 0 returns @p seed).
@@ -150,6 +236,29 @@ class BatchRunner
   private:
     unsigned jobs_;
 };
+
+namespace detail
+{
+
+/**
+ * One simulation attempt of @p job — the single code path both the
+ * in-process retry loop and an isolated child execute, so the two
+ * modes produce byte-identical BatchResults for clean jobs.
+ *
+ * @param attempt     0-based attempt number (drives retry reseeding
+ *                    and the resumeOnWatchdog budget extension)
+ * @param checkpoint  in: resume snapshot harvested from the previous
+ *                    attempt ("" = cold start); out: the snapshot a
+ *                    watchdog-expired attempt left behind (moved out
+ *                    of result.artifacts)
+ * @return true when the retry loop must stop: success, or a failure
+ *         no retry can change.
+ */
+bool runAttempt(const BatchJob &job, const BatchPolicy &policy,
+                unsigned attempt, std::string &checkpoint,
+                BatchResult &result);
+
+} // namespace detail
 
 } // namespace sim
 } // namespace ssmt

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "sim/fsio.hh"
+
 namespace ssmt
 {
 namespace sim
@@ -171,14 +173,7 @@ BenchJson::writeFile(const std::string &dir) const
         return "";
 
     std::string path = target_dir + "/BENCH_" + bench_ + ".json";
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return "";
-    std::string body = str();
-    size_t written =
-        std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
-    return written == body.size() ? path : "";
+    return writeFileAtomic(path, str()) ? path : "";
 }
 
 } // namespace sim

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/bench_json.hh"
+#include "sim/fsio.hh"
 #include "sim/json_text.hh"
 #include "sim/sim_error.hh"
 
@@ -319,13 +320,9 @@ std::string
 writeGoldenFile(const std::string &dir, const GoldenRun &run)
 {
     std::string path = dir + "/" + goldenFileName(run.workload);
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return "";
-    std::string body = goldenJson(run);
-    size_t written = std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
-    return written == body.size() ? path : "";
+    // Atomic: a golden snapshot is a regression baseline; a crashed
+    // regeneration must not leave a truncated one behind.
+    return writeFileAtomic(path, goldenJson(run)) ? path : "";
 }
 
 } // namespace sim

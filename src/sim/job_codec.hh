@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ssmt-job-result-v1: the canonical wire format an isolated child
+ * process uses to ship one BatchResult back to its parent (and the
+ * document format the campaign result store keeps on disk).
+ *
+ * Canonical in the ssmt-snapshot-v1 tradition: integers only, fixed
+ * field order, Stats as a sim::statsValues array, the metrics series
+ * in the exact IntervalSampler::save layout. Two identical attempts
+ * encode byte-identically regardless of host, worker count, or
+ * whether they ran in-process or in a child — which is what makes
+ * "isolated == in-process" and "resumed manifest == uninterrupted
+ * manifest" testable as string equality.
+ *
+ * Deliberately NOT encoded:
+ *   - hostSeconds (wall-clock is host noise; the parent re-stamps),
+ *   - histogram/series geometry (reconstructed from the config, as
+ *     snapshot restore does).
+ */
+
+#ifndef SSMT_SIM_JOB_CODEC_HH
+#define SSMT_SIM_JOB_CODEC_HH
+
+#include <string>
+
+#include "sim/batch_runner.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+extern const char kJobResultSchema[];   ///< "ssmt-job-result-v1"
+
+/**
+ * Serialize one attempt's outcome.
+ *
+ * @param checkpoint the watchdog-resume snapshot detail::runAttempt
+ *        moved out of the artifacts ("" when the attempt did not
+ *        leave one) — shipped separately so the parent can hand it
+ *        to the next attempt's child
+ * @param final_attempt what runAttempt returned: true when no retry
+ *        can change the outcome (success or non-recoverable error)
+ */
+std::string encodeJobResult(const BatchResult &result,
+                            const std::string &checkpoint,
+                            bool final_attempt);
+
+/**
+ * Inverse of encodeJobResult. @p config must be the job's config: it
+ * supplies the sampling interval and histogram geometry the series
+ * decode is reconstructed against (geometry never travels). Throws
+ * SimError(ParseError) on a malformed, truncated or
+ * schema-mismatched document; @p result is then unspecified.
+ * result.hostSeconds is left at 0 for the caller to stamp.
+ */
+void decodeJobResult(const std::string &text,
+                     const MachineConfig &config, BatchResult *result,
+                     std::string *checkpoint, bool *final_attempt);
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_JOB_CODEC_HH

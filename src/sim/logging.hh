@@ -26,9 +26,23 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ssmt
 {
+
+/** One SSMT_WARN call site's lifetime totals, as reported by
+ *  detail::warnSiteCounts(). `count` is every occurrence (printed or
+ *  not); `suppressed` is the tail the rate limiter swallowed — the
+ *  part that used to vanish silently after the first
+ *  kWarnVerbatimPerSite. Campaign manifests embed these so a
+ *  degraded-mode run stays auditable. */
+struct WarnSiteCount
+{
+    std::string site;       ///< "file:line"
+    uint64_t count = 0;
+    uint64_t suppressed = 0;
+};
 
 namespace detail
 {
@@ -36,10 +50,17 @@ namespace detail
 /** Warnings printed verbatim per site before suppression kicks in. */
 constexpr uint64_t kWarnVerbatimPerSite = 5;
 
-/** Per-call-site warning state (one static instance per SSMT_WARN). */
+/** Per-call-site warning state (one static instance per SSMT_WARN).
+ *  Sites register themselves on a process-wide lock-free list the
+ *  first time they fire, so warnSiteCounts() can enumerate every
+ *  site that ever warned. */
 struct WarnSite
 {
     std::atomic<uint64_t> count{0};
+    const char *file = nullptr;
+    int line = 0;
+    std::atomic<WarnSite *> next{nullptr};
+    std::atomic<bool> registered{false};
 };
 
 [[noreturn]] void panicImpl(const char *file, int line,
@@ -58,6 +79,19 @@ bool fatalThrows();
 uint64_t warnSuppressedTotal();
 /** Total warnings actually printed, process-wide. */
 uint64_t warnEmittedTotal();
+
+/** Every call site that has warned, with its lifetime count and how
+ *  much of it the rate limiter suppressed, sorted by site name
+ *  (canonical order for manifests). Thread-safe. */
+std::vector<WarnSiteCount> warnSiteCounts();
+
+/** The sites of @p after that grew relative to @p before, with
+ *  per-site count/suppressed deltas — how an isolated child reports
+ *  only its *own* warnings even though fork() copied the parent's
+ *  counters. Both inputs must come from warnSiteCounts(). */
+std::vector<WarnSiteCount>
+warnSiteDelta(const std::vector<WarnSiteCount> &before,
+              const std::vector<WarnSiteCount> &after);
 
 } // namespace detail
 

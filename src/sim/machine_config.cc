@@ -27,6 +27,27 @@ modeName(Mode mode)
     return "?";
 }
 
+const std::vector<Mode> &
+allModes()
+{
+    static const std::vector<Mode> modes = {
+        Mode::Baseline, Mode::OracleDifficultPath, Mode::Microthread,
+        Mode::MicrothreadNoPredictions, Mode::OracleAllBranches};
+    return modes;
+}
+
+bool
+parseMode(const std::string &name, Mode *out)
+{
+    for (Mode mode : allModes()) {
+        if (name == modeName(mode)) {
+            *out = mode;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<std::string>
 MachineConfig::validate() const
 {

@@ -44,6 +44,13 @@ enum class Mode : uint8_t
 
 const char *modeName(Mode mode);
 
+/** Every mode, in enum order. */
+const std::vector<Mode> &allModes();
+
+/** Inverse of modeName ("baseline", "microthread", ...).
+ *  @return false on an unknown name. */
+bool parseMode(const std::string &name, Mode *out);
+
 struct MachineConfig
 {
     // ---- Fetch / decode / rename (Table 3) ----

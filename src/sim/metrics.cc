@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/fsio.hh"
 #include "sim/golden.hh"
 #include "sim/snapshot.hh"
 
@@ -289,13 +290,8 @@ bool
 writeSeriesFile(const std::string &path, const MetricsSeries &series,
                 const std::string &workload, const std::string &config)
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return false;
-    std::string body = seriesDocumentJson(series, workload, config);
-    size_t written = std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
-    return written == body.size();
+    return writeFileAtomic(
+        path, seriesDocumentJson(series, workload, config));
 }
 
 } // namespace sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Subprocess-isolated batch execution: the crash-containment engine
+ * behind BatchPolicy::isolate.
+ *
+ * Each attempt of each job runs in a forked child that inherits the
+ * already-built Program and MachineConfig by copy-on-write, executes
+ * exactly one detail::runAttempt under optional RLIMIT_AS /
+ * RLIMIT_CPU caps, and writes its BatchResult back over a pipe as
+ * canonical ssmt-job-result-v1 JSON (sim/job_codec.hh). The parent is
+ * a single-threaded event loop — poll() over child pipes, nonblocking
+ * drains, wall-clock deadline SIGKILLs, waitpid reaping — that
+ * schedules up to `workers` concurrent children and drives retries
+ * with exponential backoff.
+ *
+ * Containment contract: a child that segfaults, aborts, OOMs, hangs
+ * past its deadline or exits without a result becomes a typed error
+ * slot (ErrorCode::JobCrashed / JobKilled) in submission order; every
+ * other job still completes. Clean jobs produce BatchResults
+ * byte-identical to the in-process path (the wire format excludes
+ * host wall-clock for exactly this reason).
+ *
+ * fork() without exec() is only safe from a single-threaded process;
+ * BatchRunner guarantees that by never spawning worker threads in
+ * isolate mode. Callers must not invoke this from a multithreaded
+ * context.
+ */
+
+#ifndef SSMT_SIM_PROC_RUNNER_HH
+#define SSMT_SIM_PROC_RUNNER_HH
+
+#include <vector>
+
+#include "sim/batch_runner.hh"
+
+namespace ssmt
+{
+namespace sim
+{
+
+/**
+ * Run @p batch with every job isolated in child processes; the
+ * backend of BatchRunner::run when policy.isolate is set (call it
+ * through BatchRunner). @p workers caps concurrent children.
+ * @p onResult fires on the parent thread once per finished job, in
+ * completion order.
+ */
+std::vector<BatchResult>
+runBatchIsolated(const std::vector<BatchJob> &batch,
+                 const BatchPolicy &policy, unsigned workers,
+                 const BatchRunner::ResultHook &onResult);
+
+} // namespace sim
+} // namespace ssmt
+
+#endif // SSMT_SIM_PROC_RUNNER_HH

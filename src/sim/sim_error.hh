@@ -42,7 +42,15 @@ enum class ErrorCode : uint8_t
     WatchdogExpired,    ///< per-job cycle budget exhausted
     FaultPlanInvalid,   ///< malformed fault-injection plan
     Fatal,              ///< SSMT_FATAL raised in fatal-throws mode
-    Internal            ///< anything else (wrapped foreign exception)
+    Internal,           ///< anything else (wrapped foreign exception)
+    /** An isolated child process died (signal, nonzero exit, or an
+     *  unparsable result) instead of reporting a result. Only ever
+     *  produced by the subprocess path (BatchPolicy::isolate). */
+    JobCrashed,
+    /** An isolated child was killed by its resource envelope: the
+     *  wall-clock deadline (SIGKILL from the parent) or the
+     *  RLIMIT_CPU cap (SIGXCPU). */
+    JobKilled
 };
 
 inline const char *
@@ -59,8 +67,24 @@ errorCodeName(ErrorCode code)
       case ErrorCode::FaultPlanInvalid:   return "fault-plan-invalid";
       case ErrorCode::Fatal:              return "fatal";
       case ErrorCode::Internal:           return "internal";
+      case ErrorCode::JobCrashed:         return "job-crashed";
+      case ErrorCode::JobKilled:          return "job-killed";
     }
     return "?";
+}
+
+/** Inverse of errorCodeName. @return false on an unknown name. */
+inline bool
+parseErrorCode(const std::string &name, ErrorCode *out)
+{
+    for (int i = 0; i <= static_cast<int>(ErrorCode::JobKilled); i++) {
+        ErrorCode code = static_cast<ErrorCode>(i);
+        if (name == errorCodeName(code)) {
+            *out = code;
+            return true;
+        }
+    }
+    return false;
 }
 
 class SimError : public std::runtime_error

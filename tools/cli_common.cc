@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/fsio.hh"
+
 namespace ssmt
 {
 namespace cli
@@ -182,12 +184,9 @@ readFile(const std::string &path)
 bool
 writeFile(const std::string &path, const std::string &body)
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return false;
-    size_t written = std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
-    return written == body.size();
+    // Atomic (temp + fsync + rename): an interrupted tool must never
+    // leave a truncated golden/results/snapshot file behind.
+    return sim::writeFileAtomic(path, body);
 }
 
 std::vector<std::string>

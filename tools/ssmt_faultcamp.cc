@@ -310,14 +310,13 @@ runCampaign(const Options &opt)
             (opt.goldenDir.empty() ? "false" : "true") + "}\n}\n";
 
     if (!opt.outPath.empty()) {
-        std::FILE *out = std::fopen(opt.outPath.c_str(), "w");
-        if (!out) {
+        // Atomic: a report half-written when the campaign host dies
+        // must not masquerade as a finished one.
+        if (!cli::writeFile(opt.outPath, json)) {
             std::fprintf(stderr, "cannot write %s\n",
                          opt.outPath.c_str());
             return 2;
         }
-        std::fputs(json.c_str(), out);
-        std::fclose(out);
     } else {
         std::fputs(json.c_str(), stdout);
     }
@@ -328,6 +327,12 @@ runCampaign(const Options &opt)
                  suite.size(), opt.sites.size(),
                  static_cast<unsigned long long>(total_injected),
                  arch_mismatches, errored_cells);
+    // One machine-greppable verdict line; the exit status mirrors it.
+    if (failures)
+        std::fprintf(stderr,
+                     "[faultcamp] FAILED: %d cell(s) mismatched or "
+                     "errored\n",
+                     failures);
     return failures ? 1 : 0;
 }
 

@@ -90,22 +90,6 @@ struct Options
     std::string snapshotPath;
 };
 
-bool
-parseMode(const std::string &name, sim::Mode &out)
-{
-    const sim::Mode all[] = {
-        sim::Mode::Baseline, sim::Mode::OracleDifficultPath,
-        sim::Mode::Microthread, sim::Mode::MicrothreadNoPredictions,
-        sim::Mode::OracleAllBranches};
-    for (sim::Mode mode : all) {
-        if (name == sim::modeName(mode)) {
-            out = mode;
-            return true;
-        }
-    }
-    return false;
-}
-
 Options
 parseOptions(int argc, char **argv)
 {
@@ -131,7 +115,7 @@ parseOptions(int argc, char **argv)
             cli::expandWorkloadList(args.str("--workloads"));
     if (args.has("--mode")) {
         std::string name = args.str("--mode");
-        if (!parseMode(name, opt.mode))
+        if (!sim::parseMode(name, &opt.mode))
             args.fail("unknown mode '" + name + "'");
     }
     opt.cycle = args.u64("--cycle");

@@ -65,22 +65,6 @@ const char kUsage[] =
     "modes: baseline, oracle-difficult-path, microthread,\n"
     "       microthread-no-predictions, oracle-all-branches\n";
 
-bool
-parseMode(const std::string &name, sim::Mode &out)
-{
-    const sim::Mode all[] = {
-        sim::Mode::Baseline, sim::Mode::OracleDifficultPath,
-        sim::Mode::Microthread, sim::Mode::MicrothreadNoPredictions,
-        sim::Mode::OracleAllBranches};
-    for (sim::Mode mode : all) {
-        if (name == sim::modeName(mode)) {
-            out = mode;
-            return true;
-        }
-    }
-    return false;
-}
-
 Options
 parseOptions(int argc, char **argv)
 {
@@ -100,7 +84,7 @@ parseOptions(int argc, char **argv)
     Options opt;
     if (args.has("--mode")) {
         std::string name = args.str("--mode");
-        if (!parseMode(name, opt.mode))
+        if (!sim::parseMode(name, &opt.mode))
             args.fail("unknown mode '" + name + "'");
     }
     opt.sampleInterval =

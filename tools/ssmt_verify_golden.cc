@@ -22,8 +22,9 @@
  *                      [--allowlist F] [--workloads a,b,...]
  *                      [--differential]
  *
- * Exit status: 0 clean, 1 drift/relation failure, 2 bad usage or
- * missing snapshots.
+ * Exit status: 0 clean, 1 drift/relation failure or any errored
+ * batch job (all failures are reported, not just the first), 2 bad
+ * usage or missing snapshots.
  */
 
 #include <cstdio>
@@ -180,13 +181,16 @@ main(int argc, char **argv)
 
     sim::BatchRunner runner(opt.jobs);
     std::vector<sim::BatchResult> results = runner.run(batch);
-    for (size_t i = 0; i < results.size(); i++) {
-        if (!results[i].ok()) {
-            std::fprintf(stderr, "job %s failed: %s\n",
-                         batch[i].name.c_str(),
-                         results[i].error.c_str());
-            return 2;
-        }
+    // Collect every failed job before bailing so one bad workload
+    // does not mask the rest of the report.
+    std::string failed_jobs =
+        sim::BatchRunner::failureSummary(batch, results);
+    if (!failed_jobs.empty()) {
+        std::fputs(failed_jobs.c_str(), stderr);
+        std::fprintf(stderr,
+                     "[verify-golden] FAILED: batch jobs errored "
+                     "before any counter could be compared\n");
+        return 1;
     }
 
     if (opt.update) {
@@ -298,13 +302,14 @@ main(int argc, char **argv)
         }
         std::vector<sim::BatchResult> diff_results =
             runner.run(diff_batch);
-        for (size_t i = 0; i < diff_results.size(); i++) {
-            if (!diff_results[i].ok()) {
-                std::fprintf(stderr, "job %s failed: %s\n",
-                             diff_batch[i].name.c_str(),
-                             diff_results[i].error.c_str());
-                return 2;
-            }
+        std::string failed_diff = sim::BatchRunner::failureSummary(
+            diff_batch, diff_results);
+        if (!failed_diff.empty()) {
+            std::fputs(failed_diff.c_str(), stderr);
+            std::fprintf(stderr,
+                         "[verify-golden] FAILED: differential batch "
+                         "jobs errored\n");
+            return 1;
         }
         for (size_t i = 0; i < suite.size(); i++) {
             differential_failures += checkDifferential(
