@@ -1,9 +1,10 @@
 /**
  * @file
  * Composite front-end branch predictor, wiring together the Table 3
- * components: the gshare/PAs hybrid for conditional directions, the
- * call/return stack for returns, and the target cache for other
- * indirect branches.
+ * components: a pluggable DirectionPredictor backend for conditional
+ * directions (gshare/PAs hybrid by default; TAGE or hashed
+ * perceptron via MachineConfig::predictor), the call/return stack
+ * for returns, and the target cache for other indirect branches.
  *
  * Direct targets are taken as always available at fetch, modelling
  * the paper's idealized front-end ("in a sense, we are modeling a
@@ -15,8 +16,9 @@
 #define SSMT_BPRED_FRONTEND_PREDICTOR_HH
 
 #include <cstdint>
+#include <memory>
 
-#include "bpred/hybrid.hh"
+#include "bpred/direction_predictor.hh"
 #include "bpred/ras.hh"
 #include "bpred/target_cache.hh"
 #include "isa/inst.hh"
@@ -43,10 +45,17 @@ struct HwPrediction
 class FrontEndPredictor
 {
   public:
+    /** Legacy geometry ctor: always the gshare/PAs hybrid. */
     FrontEndPredictor(uint64_t component_entries = 128 * 1024,
                       uint64_t selector_entries = 64 * 1024,
                       uint64_t target_cache_entries = 64 * 1024,
                       uint32_t ras_depth = 32);
+
+    /** Backend-selecting ctor (MachineConfig::predictor plumbs
+     *  through here). */
+    FrontEndPredictor(const DirectionConfig &direction,
+                      uint64_t target_cache_entries,
+                      uint32_t ras_depth);
 
     /**
      * Predict the control-flow instruction at @p pc and immediately
@@ -86,6 +95,11 @@ class FrontEndPredictor
           case isa::Opcode::Jr:
             pred.taken = true;
             if (inst.rs1 == isa::kRegLink) {
+                // Consumes the RAS under its pinned semantics (see
+                // ras.hh): an underflowed stack predicts target 0
+                // (a guaranteed mispredict counted below) rather
+                // than wrapping into a stale entry, and deep call
+                // chains silently overwrite the oldest frame.
                 pred.target = ras_.pop();
             } else {
                 pred.target = targetCache_.predict(pc);
@@ -105,6 +119,8 @@ class FrontEndPredictor
             indPredictions_++;
             if (!pred.correct)
                 indMispredicts_++;
+            // Indirect call: pushes its return address like Jal; at
+            // depth the RAS wraps over the oldest frame (ras.hh).
             ras_.push(pc + 1);
             break;
 
@@ -112,7 +128,7 @@ class FrontEndPredictor
             SSMT_ASSERT(inst.isCondBranch(),
                         "predictAndTrain on a non-control "
                         "instruction");
-            pred.taken = hybrid_.predictAndTrain(pc, actual_taken);
+            pred.taken = dir_->predictAndTrain(pc, actual_taken);
             pred.target = static_cast<uint64_t>(inst.imm);
             pred.correct = pred.taken == actual_taken;
             condPredictions_++;
@@ -134,13 +150,14 @@ class FrontEndPredictor
     uint64_t indirectPredictions() const { return indPredictions_; }
     uint64_t indirectMispredicts() const { return indMispredicts_; }
 
-    const Hybrid &hybrid() const { return hybrid_; }
+    /** The active conditional-direction backend. */
+    const DirectionPredictor &direction() const { return *dir_; }
 
     void save(sim::SnapshotWriter &w) const;
     void restore(sim::SnapshotReader &r);
 
   private:
-    Hybrid hybrid_;
+    std::unique_ptr<DirectionPredictor> dir_;
     TargetCache targetCache_;
     Ras ras_;
 

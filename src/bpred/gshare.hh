@@ -27,9 +27,15 @@ class Gshare
 {
   public:
     /**
-     * @param num_entries PHT size; must be a power of two.
+     * @param num_entries  PHT size; must be a power of two.
+     * @param history_bits global-history width; 0 derives
+     *                     log2(num_entries). The full [1,64] range
+     *                     is supported — 64 keeps every outcome bit
+     *                     (mask computed without the 1<<64 shift,
+     *                     which is undefined).
      */
-    explicit Gshare(uint64_t num_entries = 128 * 1024);
+    explicit Gshare(uint64_t num_entries = 128 * 1024,
+                    int history_bits = 0);
 
     // predict/update run once per fetched conditional branch (tens
     // of millions of calls per run), so they live in the header.
@@ -62,12 +68,12 @@ class Gshare
     void
     pushHistory(bool taken)
     {
-        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
-                   ((1ull << historyBits_) - 1);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & histMask_;
     }
 
     uint64_t history() const { return history_; }
     uint64_t numEntries() const { return pht_.size(); }
+    int historyBits() const { return historyBits_; }
 
     void save(sim::SnapshotWriter &w) const;
     void restore(sim::SnapshotReader &r);
@@ -75,6 +81,7 @@ class Gshare
   private:
     std::vector<Counter2> pht_;
     uint64_t mask_;
+    uint64_t histMask_;     ///< precomputed, safe for 64-bit history
     uint64_t history_ = 0;
     int historyBits_;
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bpred/direction_predictor.hh"
 #include "bpred/gshare.hh"
 #include "bpred/pas.hh"
 #include "bpred/sat_counter.hh"
@@ -24,18 +25,22 @@ class SnapshotReader;
 namespace bpred
 {
 
-class Hybrid
+class Hybrid final : public DirectionPredictor
 {
   public:
     Hybrid(uint64_t component_entries = 128 * 1024,
-           uint64_t selector_entries = 64 * 1024);
+           uint64_t selector_entries = 64 * 1024,
+           uint32_t history_bits = 0);
+
+    const char *name() const override { return "hybrid"; }
 
     // predict/update run once per fetched conditional branch (tens
-    // of millions of calls per run), so they live in the header.
+    // of millions of calls per run), so they live in the header;
+    // `final` lets statically-typed callers devirtualize them.
 
     /** Predict direction for the branch at @p pc. */
     bool
-    predict(uint64_t pc) const
+    predict(uint64_t pc) const override
     {
         // Selector counter >= weakly-taken means "use gshare".
         if (selector_[selectorIndex(pc)].predictTaken())
@@ -49,15 +54,13 @@ class Hybrid
      * that was correct when exactly one of them was.
      */
     void
-    update(uint64_t pc, bool taken)
+    update(uint64_t pc, bool taken) override
     {
         bool g_pred = gshare_.predict(pc);
         bool p_pred = pas_.predict(pc);
         bool used = predict(pc);
 
-        predictions_++;
-        if (used != taken)
-            mispredictions_++;
+        recordOutcome(used, taken);
 
         // Selector trains only when the components disagree.
         Counter2 &sel = selector_[selectorIndex(pc)];
@@ -77,7 +80,7 @@ class Hybrid
      * by update().
      */
     bool
-    predictAndTrain(uint64_t pc, bool taken)
+    predictAndTrain(uint64_t pc, bool taken) override
     {
         // Selector ref and component indices all derive from the
         // pre-update gshare history, as in the split formulation.
@@ -87,9 +90,7 @@ class Hybrid
         bool p_pred = pas_.predictAndTrain(pc, taken);
         bool used = use_gshare ? g_pred : p_pred;
 
-        predictions_++;
-        if (used != taken)
-            mispredictions_++;
+        recordOutcome(used, taken);
 
         // Selector trains only when the components disagree.
         if (g_pred != p_pred)
@@ -100,29 +101,14 @@ class Hybrid
     const Gshare &gshare() const { return gshare_; }
     const Pas &pas() const { return pas_; }
 
-    uint64_t predictions() const { return predictions_; }
-    uint64_t mispredictions() const { return mispredictions_; }
-
-    /** Misprediction rate over all update() calls so far. */
-    double
-    mispredictRate() const
-    {
-        return predictions_ == 0
-                   ? 0.0
-                   : static_cast<double>(mispredictions_) /
-                         static_cast<double>(predictions_);
-    }
-
-    void save(sim::SnapshotWriter &w) const;
-    void restore(sim::SnapshotReader &r);
+    void save(sim::SnapshotWriter &w) const override;
+    void restore(sim::SnapshotReader &r) override;
 
   private:
     Gshare gshare_;
     Pas pas_;
     std::vector<Counter2> selector_;
     uint64_t selectorMask_;
-    uint64_t predictions_ = 0;
-    uint64_t mispredictions_ = 0;
 
     uint64_t
     selectorIndex(uint64_t pc) const

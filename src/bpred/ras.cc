@@ -1,5 +1,7 @@
 #include "bpred/ras.hh"
 
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
 #include "sim/snapshot.hh"
 
 namespace ssmt
@@ -9,6 +11,10 @@ namespace bpred
 
 Ras::Ras(uint32_t depth) : stack_(depth, 0)
 {
+    // Depth 0 would make every push index an empty vector (and the
+    // wrap arithmetic divide by zero). MachineConfig::validate
+    // reports rasDepth >= 1 with a friendlier diagnostic first.
+    SSMT_ASSERT(depth >= 1, "RAS depth must be >= 1");
 }
 
 void
@@ -53,9 +59,19 @@ Ras::restore(sim::SnapshotReader &r)
 {
     std::vector<uint64_t> stack = r.u64Array("stack");
     r.requireSize("stack", stack.size(), stack_.size());
+    uint64_t top_idx = r.u64("topIdx");
+    uint64_t size = r.u64("size");
+    // A corrupt snapshot must not plant indices past the configured
+    // depth: the next push would write out of bounds.
+    if (top_idx >= stack.size() || size > stack.size())
+        throw sim::SimError(
+            sim::ErrorCode::ParseError, "snapshot",
+            "ras: topIdx " + std::to_string(top_idx) + " / size " +
+                std::to_string(size) + " exceed depth " +
+                std::to_string(stack.size()));
     stack_ = std::move(stack);
-    topIdx_ = static_cast<uint32_t>(r.u64("topIdx"));
-    size_ = static_cast<uint32_t>(r.u64("size"));
+    topIdx_ = static_cast<uint32_t>(top_idx);
+    size_ = static_cast<uint32_t>(size);
 }
 
 static_assert(sim::SnapshotterLike<Ras>);

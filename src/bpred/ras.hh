@@ -2,6 +2,16 @@
  * @file
  * 32-entry call/return stack (Table 3). Wraps on overflow like real
  * hardware rather than growing.
+ *
+ * Over/underflow semantics, pinned by test_btb_ras_tc.cc:
+ *
+ *  - push past depth overwrites the *oldest* live entry (hardware
+ *    wrap); the stack never reports more than depth entries.
+ *  - pop on empty returns 0 and moves nothing — it must not walk
+ *    topIdx_ backwards into stale slots, or a call/return-imbalanced
+ *    region would resurrect long-dead return addresses.
+ *  - restore() validates topIdx_/size_ against the configured depth,
+ *    so a corrupt snapshot cannot set up out-of-bounds indexing.
  */
 
 #ifndef SSMT_BPRED_RAS_HH
@@ -25,10 +35,12 @@ class Ras
   public:
     explicit Ras(uint32_t depth = 32);
 
-    /** Push a return address at a call. */
+    /** Push a return address at a call. Past depth, the oldest live
+     *  entry is overwritten (hardware wrap). */
     void push(uint64_t return_pc);
 
-    /** Pop the predicted return address at a return. Empty -> 0. */
+    /** Pop the predicted return address at a return. Empty -> 0,
+     *  with no pointer movement (no wrap into stale entries). */
     uint64_t pop();
 
     /** Peek without popping (for tests). */

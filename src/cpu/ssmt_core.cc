@@ -39,8 +39,8 @@ sortedKeys(const M &map)
 SsmtCore::SsmtCore(const isa::Program &prog,
                    const sim::MachineConfig &config)
     : prog_(prog), cfg_(config), hier_(config.mem),
-      fep_(config.bpredComponentEntries, config.bpredSelectorEntries,
-           config.targetCacheEntries, config.rasDepth),
+      fep_(config.directionConfig(), config.targetCacheEntries,
+           config.rasDepth),
       vpred_(config.vpredEntries, config.vpredConfMax,
              config.vpredConfThresh),
       apred_(config.vpredEntries, config.vpredConfMax,
@@ -1603,7 +1603,7 @@ SsmtCore::restore(sim::SnapshotReader &r)
 }
 
 static_assert(sim::SnapshotterLike<SsmtCore>);
-SSMT_SNAPSHOT_PIN_LAYOUT(SsmtCore, 4056);
+SSMT_SNAPSHOT_PIN_LAYOUT(SsmtCore, 3912);
 
 } // namespace cpu
 } // namespace ssmt

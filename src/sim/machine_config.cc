@@ -95,6 +95,27 @@ MachineConfig::validate() const
                 "): microthread dispatch skips only the I-cache "
                 "stage of the front end");
 
+    auto pow2 = [](uint64_t v) { return v >= 2 && (v & (v - 1)) == 0; };
+    require(pow2(bpredComponentEntries),
+            "bpredComponentEntries must be a power of two >= 2 (got " +
+                std::to_string(bpredComponentEntries) + ")");
+    require(pow2(bpredSelectorEntries),
+            "bpredSelectorEntries must be a power of two >= 2 (got " +
+                std::to_string(bpredSelectorEntries) + ")");
+    require(pow2(targetCacheEntries),
+            "targetCacheEntries must be a power of two >= 2 (got " +
+                std::to_string(targetCacheEntries) + ")");
+    // 64 needs the wrap-safe mask in Gshare; anything above has no
+    // bits to keep. 0 means "derive from the component size".
+    require(bpredHistoryBits <= 64,
+            "bpredHistoryBits must be in [0,64] (got " +
+                std::to_string(bpredHistoryBits) +
+                "); 0 derives log2(bpredComponentEntries)");
+    require(rasDepth >= 1,
+            "rasDepth must be >= 1 (got " + std::to_string(rasDepth) +
+                "); the return-address stack wraps, it cannot be "
+                "absent");
+
     require(pathN >= 1 && pathN <= 16,
             "pathN must be in [1,16] (got " + std::to_string(pathN) +
                 "); the path tracker keeps 16 branches of history");
@@ -186,8 +207,8 @@ MachineConfig::toString() const
         "  L1D                 : %llu KB %u-way, %d cycles\n"
         "  L2                  : %llu KB %u-way, +%d cycles\n"
         "  DRAM                : +%d cycles\n"
-        "  direction predictor : %lluK-entry gshare/PAs hybrid, "
-        "%lluK-entry selector\n"
+        "  direction predictor : %s (%lluK-entry components, "
+        "%lluK-entry selector)\n"
         "  target cache        : %lluK entries; RAS depth %u\n"
         "mechanism (%s):\n"
         "  path n = %d, T = %.2f, path cache %u entries "
@@ -204,6 +225,7 @@ MachineConfig::toString() const
         mem.l1dAssoc, mem.l1Latency,
         static_cast<unsigned long long>(mem.l2Size / 1024),
         mem.l2Assoc, mem.l2Latency, mem.dramLatency,
+        bpred::predictorKindName(predictor),
         static_cast<unsigned long long>(bpredComponentEntries / 1024),
         static_cast<unsigned long long>(bpredSelectorEntries / 1024),
         static_cast<unsigned long long>(targetCacheEntries / 1024),

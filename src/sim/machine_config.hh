@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bpred/direction_predictor.hh"
 #include "core/uthread_builder.hh"
 #include "memory/hierarchy.hh"
 #include "sim/faultinject.hh"
@@ -72,10 +73,27 @@ struct MachineConfig
     memory::HierarchyConfig mem;
 
     // ---- Branch predictors (Table 3) ----
+    /** Conditional-direction backend: the Table 3 hybrid (default),
+     *  or a modern competitor (tage, perceptron) for the "is it
+     *  still worth it?" cross study. Participates in
+     *  configFingerprint, so snapshots never cross-restore between
+     *  backends. */
+    bpred::PredictorKind predictor = bpred::PredictorKind::Hybrid;
     uint64_t bpredComponentEntries = 128 * 1024;
     uint64_t bpredSelectorEntries = 64 * 1024;
+    /** gshare global-history width in bits; 0 derives
+     *  log2(bpredComponentEntries). Valid range [0,64]. */
+    uint32_t bpredHistoryBits = 0;
     uint64_t targetCacheEntries = 64 * 1024;
     uint32_t rasDepth = 32;
+
+    /** The direction-backend geometry this config implies. */
+    bpred::DirectionConfig
+    directionConfig() const
+    {
+        return {predictor, bpredComponentEntries,
+                bpredSelectorEntries, bpredHistoryBits};
+    }
 
     // ---- Difficult-path mechanism (Section 5) ----
     Mode mode = Mode::Baseline;

@@ -432,6 +432,9 @@ configFingerprint(const MachineConfig &config)
        << "bpredSelectorEntries=" << config.bpredSelectorEntries << ';'
        << "targetCacheEntries=" << config.targetCacheEntries << ';'
        << "rasDepth=" << config.rasDepth << ';'
+       << "predictor=" << bpred::predictorKindName(config.predictor)
+       << ';'
+       << "bpredHistoryBits=" << config.bpredHistoryBits << ';'
        << "pathN=" << config.pathN << ';'
        << "difficultyThreshold=" << config.difficultyThreshold << ';'
        << "pathCacheEntries=" << config.pathCacheEntries << ';'

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "bpred/btb.hh"
 #include "bpred/ras.hh"
 #include "bpred/target_cache.hh"
+#include "sim/sim_error.hh"
+#include "sim/snapshot.hh"
 
 namespace
 {
@@ -85,6 +89,81 @@ TEST(RasTest, TopPeeksWithoutPopping)
     ras.push(42);
     EXPECT_EQ(ras.top(), 42u);
     EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(RasTest, UnderflowDoesNotMovePointers)
+{
+    // Regression pin: pop-on-empty must be a pure no-op. A version
+    // that decremented topIdx_ before the emptiness check would make
+    // the next push land one slot off and corrupt LIFO order.
+    Ras ras(4);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(ras.pop(), 0u);
+    ras.push(7);
+    ras.push(8);
+    EXPECT_EQ(ras.pop(), 8u);
+    EXPECT_EQ(ras.pop(), 7u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(RasTest, OverflowThenUnderflowStaysConsistent)
+{
+    // Wrap past depth twice, drain to empty, keep popping, refill:
+    // size_ and topIdx_ must stay in lock-step through every phase.
+    Ras ras(3);
+    for (uint64_t i = 1; i <= 8; i++)
+        ras.push(i);
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.pop(), 8u);
+    EXPECT_EQ(ras.pop(), 7u);
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u);
+    ras.push(99);
+    EXPECT_EQ(ras.top(), 99u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(RasTest, RestoreRejectsOutOfRangeIndices)
+{
+    // A corrupt snapshot planting topIdx/size past the configured
+    // depth used to be accepted; the next push would then write out
+    // of bounds. Restore must throw ParseError instead.
+    Ras ras(4);
+    ras.push(1);
+    ras.push(2);
+    ssmt::sim::SnapshotWriter w;
+    w.beginObject();
+    ras.save(w);
+    w.endObject();
+    std::string good = w.text();
+
+    auto restoreFrom = [](const std::string &text) {
+        Ras fresh(4);
+        ssmt::sim::SnapshotReader r(text);
+        fresh.restore(r);
+    };
+    restoreFrom(good);      // sanity: the untampered document loads
+
+    for (const char *key : {"\"topIdx\"", "\"size\""}) {
+        std::string doc = good;
+        size_t at = doc.find(key);
+        ASSERT_NE(at, std::string::npos) << key;
+        size_t colon = doc.find(':', at);
+        size_t end = doc.find_first_of(",}", colon);
+        doc.replace(colon + 1, end - colon - 1, "9");
+        try {
+            restoreFrom(doc);
+            FAIL() << "expected ParseError for " << key;
+        } catch (const ssmt::sim::SimError &err) {
+            EXPECT_EQ(err.code(), ssmt::sim::ErrorCode::ParseError);
+        }
+    }
+}
+
+TEST(RasDeathTest, ZeroDepthPanics)
+{
+    EXPECT_DEATH(Ras(0), "depth");
 }
 
 TEST(TargetCacheTest, LearnsStableTarget)

@@ -77,4 +77,52 @@ TEST(GshareDeathTest, NonPow2SizePanics)
     EXPECT_DEATH(Gshare(1000), "power of two");
 }
 
+TEST(GshareTest, DefaultHistoryWidthDerivesLog2Entries)
+{
+    EXPECT_EQ(Gshare(1024).historyBits(), 10);
+    EXPECT_EQ(Gshare(128 * 1024).historyBits(), 17);
+    EXPECT_EQ(Gshare(2).historyBits(), 1);
+}
+
+TEST(GshareTest, SixtyFourBitHistoryBoundary)
+{
+    // history_bits == 64 used to evaluate (1ull << 64) - 1, which is
+    // undefined; the precomputed mask must keep all 64 bits live.
+    Gshare g(1024, 64);
+    EXPECT_EQ(g.historyBits(), 64);
+    for (int i = 0; i < 64; i++)
+        g.pushHistory(true);
+    EXPECT_EQ(g.history(), ~0ull);      // bit 63 survived the mask
+    g.pushHistory(false);
+    EXPECT_EQ(g.history(), ~0ull << 1); // shifted, not wedged
+    // The 65th-oldest outcome ages out; predict/update still work.
+    for (int i = 0; i < 32; i++)
+        g.update(100, true);
+    EXPECT_TRUE(g.predict(100));
+}
+
+TEST(GshareTest, SixtyThreeBitHistoryMasksTopBit)
+{
+    Gshare g(1024, 63);
+    for (int i = 0; i < 80; i++)
+        g.pushHistory(true);
+    EXPECT_EQ(g.history(), (1ull << 63) - 1);
+}
+
+TEST(GshareTest, OneBitHistoryKeepsOnlyLastOutcome)
+{
+    Gshare g(1024, 1);
+    g.pushHistory(true);
+    g.pushHistory(true);
+    EXPECT_EQ(g.history(), 1u);
+    g.pushHistory(false);
+    EXPECT_EQ(g.history(), 0u);
+}
+
+TEST(GshareDeathTest, HistoryWidthOutOfRangePanics)
+{
+    EXPECT_DEATH(Gshare(1024, 65), "history width");
+    EXPECT_DEATH(Gshare(1024, -1), "history width");
+}
+
 } // namespace

@@ -150,6 +150,26 @@ jobsFlag(const ArgParser &args, const std::string &flag)
     return static_cast<unsigned>(jobs);
 }
 
+bpred::PredictorKind
+predictorFlag(const ArgParser &args, const std::string &flag)
+{
+    if (!args.has(flag))
+        return bpred::PredictorKind::Hybrid;
+    std::string name = args.str(flag);
+    bpred::PredictorKind kind;
+    if (!bpred::parsePredictorKind(name, &kind)) {
+        std::string known;
+        for (bpred::PredictorKind k : bpred::allPredictorKinds()) {
+            if (!known.empty())
+                known += ", ";
+            known += bpred::predictorKindName(k);
+        }
+        args.fail("unknown predictor '" + name + "' (accepted: " +
+                  known + ")");
+    }
+    return kind;
+}
+
 std::vector<std::string>
 splitCommas(const std::string &arg)
 {

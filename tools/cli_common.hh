@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bpred/direction_predictor.hh"
 #include "workloads/workloads.hh"
 
 namespace ssmt
@@ -116,6 +117,17 @@ class ArgParser
  */
 unsigned jobsFlag(const ArgParser &args,
                   const std::string &flag = "--jobs");
+
+/**
+ * Resolve a `--predictor NAME` flag into a direction-backend kind
+ * (hybrid, tage, perceptron — see bpred::parsePredictorKind). The
+ * flag absent means the default hybrid; an unknown name exits 2.
+ * Note snapshots fingerprint the backend, so artifacts produced
+ * under different --predictor values never cross-restore.
+ */
+bpred::PredictorKind
+predictorFlag(const ArgParser &args,
+              const std::string &flag = "--predictor");
 
 /** Split "a,b,c" into {"a","b","c"}, dropping empty segments. */
 std::vector<std::string> splitCommas(const std::string &arg);

@@ -66,6 +66,7 @@ const char kUsage[] =
     "usage: ssmt_snapshot save   --cycle N"
     " [--workloads a,b,...|all]\n"
     "                            [--mode M] [--sample-interval N]\n"
+    "                            [--predictor hybrid|tage|perceptron]\n"
     "                            [--out-dir D] [--jobs N]\n"
     "       ssmt_snapshot fanout --snapshot FILE --workload NAME\n"
     "                            [--sample-interval N] [--jobs N]\n"
@@ -82,6 +83,7 @@ struct Options
     std::string command;
     std::vector<std::string> workloads;
     sim::Mode mode = sim::Mode::Baseline;
+    bpred::PredictorKind predictor = bpred::PredictorKind::Hybrid;
     uint64_t cycle = 0;
     uint64_t sampleInterval = 0;
     unsigned jobs = 0;
@@ -96,6 +98,7 @@ parseOptions(int argc, char **argv)
     cli::ArgParser args(argc, argv, kUsage,
                         {{"--workloads", "--workload", true},
                          {"--mode", nullptr, true},
+                         {"--predictor", nullptr, true},
                          {"--cycle", nullptr, true},
                          {"--sample-interval", nullptr, true},
                          {"--jobs", nullptr, true},
@@ -118,6 +121,7 @@ parseOptions(int argc, char **argv)
         if (!sim::parseMode(name, &opt.mode))
             args.fail("unknown mode '" + name + "'");
     }
+    opt.predictor = cli::predictorFlag(args);
     opt.cycle = args.u64("--cycle");
     opt.sampleInterval =
         args.u64("--sample-interval", opt.sampleInterval);
@@ -153,6 +157,7 @@ makeConfig(const Options &opt, sim::Mode mode)
 {
     sim::MachineConfig cfg = sim::goldenMachineConfig();
     cfg.mode = mode;
+    cfg.predictor = opt.predictor;
     cfg.sampleInterval = opt.sampleInterval;
     return cfg;
 }

@@ -48,6 +48,7 @@ struct Options
 {
     std::vector<std::string> workloads;
     sim::Mode mode = sim::Mode::Microthread;
+    bpred::PredictorKind predictor = bpred::PredictorKind::Hybrid;
     uint64_t sampleInterval = 1000;
     size_t traceCapacity = 65536;
     uint64_t scale = 1;
@@ -59,6 +60,7 @@ struct Options
 
 const char kUsage[] =
     "usage: ssmt_trace --workload a[,b,...]|all [--mode M]\n"
+    "          [--predictor hybrid|tage|perceptron]\n"
     "          [--sample-interval N] [--trace-capacity N]\n"
     "          [--scale N] [--seed S] [--jobs N] [--out-dir D]\n"
     "          [--jsonl] [--list-workloads]\n"
@@ -71,6 +73,7 @@ parseOptions(int argc, char **argv)
     cli::ArgParser args(argc, argv, kUsage,
                         {{"--workload", "--workloads", true},
                          {"--mode", nullptr, true},
+                         {"--predictor", nullptr, true},
                          {"--sample-interval", nullptr, true},
                          {"--trace-capacity", nullptr, true},
                          {"--scale", nullptr, true},
@@ -87,6 +90,7 @@ parseOptions(int argc, char **argv)
         if (!sim::parseMode(name, &opt.mode))
             args.fail("unknown mode '" + name + "'");
     }
+    opt.predictor = cli::predictorFlag(args);
     opt.sampleInterval =
         args.u64("--sample-interval", opt.sampleInterval);
     opt.traceCapacity = static_cast<size_t>(
@@ -124,6 +128,7 @@ main(int argc, char **argv)
     // explicit --mode) differ.
     sim::MachineConfig cfg = sim::goldenMachineConfig();
     cfg.mode = opt.mode;
+    cfg.predictor = opt.predictor;
     cfg.sampleInterval = opt.sampleInterval;
     cfg.traceCapacity = opt.traceCapacity;
 
