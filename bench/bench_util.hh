@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/batch_runner.hh"
+#include "sim/jobs.hh"
 #include "sim/bench_json.hh"
 #include "sim/invariants.hh"
 #include "sim/machine_config.hh"
@@ -101,7 +102,7 @@ parseArgs(int argc, char **argv,
         std::fprintf(stderr, "\n");
         std::exit(2);
     }
-    args.jobs = sim::BatchRunner::resolveJobs(requested);
+    args.jobs = sim::resolveJobs(requested);
     return args;
 }
 

@@ -42,7 +42,12 @@ class Arena
         SSMT_ASSERT(chunk_bytes >= 256, "arena chunks must be sane");
     }
 
-    /** @return @p bytes of storage aligned to @p align. */
+    /** @return @p bytes of storage aligned to @p align. Alignment is
+     *  of the absolute address, not the chunk offset — chunk bases
+     *  are only as aligned as the system allocator makes them, so
+     *  requests above that must round from the base. nextChunk's
+     *  bytes+align headroom guarantees the rounded block still
+     *  fits. */
     void *
     allocate(size_t bytes, size_t align)
     {
@@ -50,11 +55,12 @@ class Arena
                     "arena alignment must be a power of two");
         if (bytes == 0)
             bytes = 1;
-        size_t offset = (cursor_ + align - 1) & ~(align - 1);
-        if (chunk_ >= chunks_.size() ||
-            offset + bytes > chunks_[chunk_].size()) {
+        if (chunk_ >= chunks_.size())
             nextChunk(bytes + align);
-            offset = (cursor_ + align - 1) & ~(align - 1);
+        size_t offset = alignedOffset(cursor_, align);
+        if (offset + bytes > chunks_[chunk_].size()) {
+            nextChunk(bytes + align);
+            offset = alignedOffset(0, align);
         }
         cursor_ = offset + bytes;
         return chunks_[chunk_].data() + offset;
@@ -80,6 +86,17 @@ class Arena
     size_t chunkCount() const { return chunks_.size(); }
 
   private:
+    /** Smallest offset >= @p from whose absolute address in the
+     *  current chunk is @p align-aligned. */
+    size_t
+    alignedOffset(size_t from, size_t align) const
+    {
+        uintptr_t base =
+            reinterpret_cast<uintptr_t>(chunks_[chunk_].data());
+        uintptr_t addr = (base + from + align - 1) & ~(align - 1);
+        return static_cast<size_t>(addr - base);
+    }
+
     void
     nextChunk(size_t min_bytes)
     {

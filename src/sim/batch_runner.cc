@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 #include <thread>
 
+#include "sim/jobs.hh"
 #include "sim/logging.hh"
 #include "sim/proc_runner.hh"
 #include "sim/sim_runner.hh"
+#include "sim/taskrt.hh"
 
 namespace ssmt
 {
@@ -63,15 +64,7 @@ BatchRunner::BatchRunner(unsigned jobs) : jobs_(resolveJobs(jobs))
 unsigned
 BatchRunner::resolveJobs(unsigned requested)
 {
-    if (requested > 0)
-        return requested;
-    if (const char *env = std::getenv("SSMT_JOBS")) {
-        long parsed = std::strtol(env, nullptr, 10);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return sim::resolveJobs(requested);
 }
 
 void
@@ -79,44 +72,17 @@ BatchRunner::forEach(size_t n, const std::function<void(size_t)> &fn) const
 {
     if (n == 0)
         return;
-
-    unsigned workers =
-        static_cast<unsigned>(std::min<size_t>(jobs_, n));
-    if (workers <= 1) {
+    if (jobs_ <= 1 || n == 1) {
         // Serial degenerate case: same thread, same order, and
-        // exceptions propagate naturally.
+        // exceptions propagate naturally — without ever starting
+        // the shared pool.
         for (size_t i = 0; i < n; i++)
             fn(i);
         return;
     }
-
-    // Work-stealing by atomic ticket: claim order is nondeterministic
-    // but each index owns its own result slot, so outcomes are not.
-    std::atomic<size_t> next{0};
-    std::vector<std::exception_ptr> errors(n);
-    auto worker = [&]() {
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; w++)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-
-    for (size_t i = 0; i < n; i++)
-        if (errors[i])
-            std::rethrow_exception(errors[i]);
+    TaskRuntime &rt = TaskRuntime::shared();
+    rt.ensureWorkers(jobs_);
+    rt.forEach(n, fn, jobs_);
 }
 
 uint64_t

@@ -1,19 +1,25 @@
 /**
  * @file
- * BatchRunner: a fixed-size worker-thread pool that fans independent
- * (Program, MachineConfig) simulation jobs out across host cores.
+ * BatchRunner: fans independent (Program, MachineConfig) simulation
+ * jobs out across host cores, bounded by this runner's jobs() cap.
+ *
+ * Since the taskrt refactor the runner owns no threads of its own:
+ * it multiplexes onto the process-wide work-stealing
+ * sim::TaskRuntime pool (sim/taskrt.hh), so concurrent batches —
+ * e.g. two campaigns in one ssmt_server — share workers instead of
+ * oversubscribing the host. A BatchRunner is just a parallelism cap
+ * plus batch/retry policy around that pool.
  *
  * Every experiment cell in the paper-reproduction suite — a workload
  * under a machine configuration — is an isolated SsmtCore, so cells
  * can run concurrently with *bit-identical* results: each job writes
  * only its own result slot, and the output order is the submission
  * order regardless of which worker finished first. `--jobs 1`
- * degenerates to a plain serial loop on the calling thread.
+ * degenerates to a plain serial loop on the calling thread, without
+ * starting the shared pool.
  *
- * Worker count resolution (highest priority first):
- *   1. an explicit non-zero request (e.g. a `--jobs N` flag),
- *   2. the SSMT_JOBS environment variable,
- *   3. std::thread::hardware_concurrency().
+ * Worker count resolution: sim::resolveJobs (sim/jobs.hh) — explicit
+ * request, then SSMT_JOBS, then host cores.
  */
 
 #ifndef SSMT_SIM_BATCH_RUNNER_HH

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <thread>
 
 #include "sim/fsio.hh"
+#include "sim/jobs.hh"
 
 namespace ssmt
 {
@@ -108,8 +108,7 @@ BenchJson::str() const
     out << "  \"bench\": \"" << escape(bench_) << "\",\n";
     out << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n";
     out << "  \"jobs\": " << jobs_ << ",\n";
-    out << "  \"hostThreads\": "
-        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"hostThreads\": " << hostThreads() << ",\n";
     out << "  \"suiteWallSeconds\": " << suiteWallSeconds_ << ",\n";
     out << "  \"jobSecondsTotal\": " << job_seconds << ",\n";
     out << "  \"runs\": [";

@@ -574,13 +574,20 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
     const size_t n = outcome.cells.size();
     outcome.results.resize(n);
 
-    // Build each workload program once; cells share it by reference.
+    BatchRunner runner(opts.jobs);
+
+    // Build each workload program once (in parallel — generators are
+    // independent and deterministic); cells share it by reference.
     workloads::WorkloadParams params;
     params.scale = spec.scale;
+    std::vector<isa::Program> built(spec.workloads.size());
+    runner.forEach(spec.workloads.size(), [&](size_t w) {
+        built[w] = workloads::makeWorkload(spec.workloads[w], params);
+    });
     std::map<std::string, isa::Program> programs;
-    for (const std::string &workload : spec.workloads)
-        programs.emplace(workload,
-                         workloads::makeWorkload(workload, params));
+    for (size_t w = 0; w < spec.workloads.size(); w++)
+        programs.emplace(spec.workloads[w], std::move(built[w]));
+    built.clear();
 
     // The journal pins the spec: resuming under a different spec
     // would silently mix incompatible cells into one campaign.
@@ -636,6 +643,8 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                                 outcome.results[i].errorCode,
                                 true});
             logLine(opts, cell.name + ": cached");
+            if (opts.onCell)
+                opts.onCell(cell, keys[i], outcome.results[i], true);
         }
     }
 
@@ -660,7 +669,6 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
 
     BatchPolicy policy = campaignPolicy(spec, opts.cancel);
     std::mutex hook_mutex;   // in-process workers are concurrent
-    BatchRunner runner(opts.jobs);
     std::vector<BatchResult> ran = runner.run(
         batch, policy, [&](size_t b, const BatchResult &result) {
             std::lock_guard<std::mutex> lock(hook_mutex);
@@ -680,6 +688,8 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                              : std::string("failed [") +
                                    errorCodeName(result.errorCode) +
                                    "]"));
+            if (opts.onCell)
+                opts.onCell(cell, keys[i], result, false);
         });
 
     // The batch failure digest must be taken before the results are
@@ -710,11 +720,16 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
         // and reading it back is what makes an interrupted-and-
         // resumed campaign byte-identical to an uninterrupted one.
         std::vector<BatchResult> stored(n);
-        bool all_loaded = true;
-        for (size_t i = 0; i < n; i++) {
-            all_loaded = all_loaded &&
-                         store.load(keys[i], configs[i], &stored[i]);
-        }
+        std::vector<char> loaded(n, 0);
+        // Pure per-index reads: safe and worthwhile to parallelize
+        // (decoding a series-heavy document dominates).
+        runner.forEach(n, [&](size_t i) {
+            loaded[i] = store.load(keys[i], configs[i], &stored[i])
+                            ? 1
+                            : 0;
+        });
+        bool all_loaded = std::all_of(loaded.begin(), loaded.end(),
+                                      [](char l) { return l != 0; });
         if (all_loaded) {
             std::string manifest =
                 campaignManifest(spec, outcome.cells, stored);
@@ -771,6 +786,20 @@ campaignGc(const CampaignSpec &spec, const std::string &dir)
             removed.push_back(key);
     }
     return removed;
+}
+
+size_t
+journalLag(const JournalContents &journal,
+           const std::vector<std::string> &store_keys)
+{
+    std::set<std::string> journaled;
+    for (const JournalCell &cell : journal.cells)
+        journaled.insert(cell.key);
+    size_t lag = 0;
+    for (const std::string &key : store_keys)
+        if (!journaled.count(key))
+            lag++;
+    return lag;
 }
 
 } // namespace sim

@@ -237,6 +237,18 @@ struct CampaignOptions
     bool force = false;
     /** Progress sink (nullable); one human-readable line per event. */
     std::function<void(const std::string &)> log;
+    /**
+     * Per-cell completion hook (nullable): fired once per finished
+     * cell — cache hits during the replay pass and fresh results as
+     * they land — with the cell, its store key, the decoded result
+     * and whether it was served from the store. Called from worker
+     * threads for fresh cells (serialized with the journal/store
+     * critical section); the server layer streams cell events to
+     * clients from here.
+     */
+    std::function<void(const CampaignCell &, const std::string &key,
+                       const BatchResult &, bool cached)>
+        onCell;
 };
 
 /** What one runCampaign invocation did. */
@@ -280,6 +292,19 @@ std::string campaignManifest(const CampaignSpec &spec,
  *  @return the keys removed. */
 std::vector<std::string> campaignGc(const CampaignSpec &spec,
                                     const std::string &dir);
+
+/**
+ * Journal lag: how many of @p store_keys have no journal line — i.e.
+ * cells whose result was persisted to the store but whose journal
+ * append never landed (the window a crash between store.save and
+ * journal.appendCell leaves behind, at most one cell wide per
+ * worker). A large lag on a live campaign means the journaling side
+ * is wedged; 0 means store and journal agree. `ssmt_campaign status`
+ * reports this so an operator can tell a wedged campaign from a slow
+ * one.
+ */
+size_t journalLag(const JournalContents &journal,
+                  const std::vector<std::string> &store_keys);
 
 } // namespace sim
 } // namespace ssmt

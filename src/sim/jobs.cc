@@ -1,0 +1,32 @@
+#include "sim/jobs.hh"
+
+#include <cstdlib>
+#include <thread>
+
+namespace ssmt
+{
+namespace sim
+{
+
+unsigned
+hostThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("SSMT_JOBS")) {
+        long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    return hostThreads();
+}
+
+} // namespace sim
+} // namespace ssmt

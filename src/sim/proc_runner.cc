@@ -18,6 +18,7 @@
 
 #include "sim/job_codec.hh"
 #include "sim/logging.hh"
+#include "sim/taskrt.hh"
 
 namespace ssmt
 {
@@ -46,14 +47,22 @@ backoffDelayMs(const BatchPolicy &policy, unsigned attempt)
     return policy.backoffMs << std::min(attempt - 1, 16u);
 }
 
-/** Scheduling state of one job in the parent. */
+/**
+ * Scheduling state of one job in the parent. The attempt chain lives
+ * in a TaskGraph: each attempt is a node, and a retry/resume is a new
+ * node with a dependency edge on its predecessor — so
+ * checkpoint→resume sequencing is explicit graph structure, the same
+ * shape the in-process TaskRuntime schedules. `node` always names the
+ * job's *current* attempt; graph.done(node) means the whole job is
+ * finished (its final attempt was completed with no successor).
+ */
 struct JobState
 {
-    enum class Phase : uint8_t { Pending, Running, Done };
-    Phase phase = Phase::Pending;
+    TaskId node = 0;                ///< current attempt's graph node
+    bool running = false;           ///< a child is live for `node`
     unsigned attempt = 0;           ///< next attempt to launch
     std::string checkpoint;         ///< watchdog-resume snapshot
-    Clock::time_point eligibleAt{}; ///< backoff gate (Pending only)
+    Clock::time_point eligibleAt{}; ///< backoff gate (pending only)
     Clock::time_point startedAt{};  ///< first spawn, for hostSeconds
     bool started = false;
 };
@@ -179,16 +188,47 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
     if (n == 0)
         return results;
 
+    // Quiesce the shared TaskRuntime (if one ever started) for the
+    // whole forking section: no pool worker may be mid-task when we
+    // fork, or the child could inherit a held lock. Parked workers
+    // are harmless — the children never touch the runtime.
+    TaskRuntime::ForkGuard fork_guard;
+
     const size_t max_children =
         std::max<size_t>(1, std::min<size_t>(workers, n));
     std::vector<JobState> jobs(n);
+    // Attempt chains as explicit graph structure; single-threaded
+    // scheduler, so no lock (see TaskGraph).
+    TaskGraph graph;
+    for (size_t i = 0; i < n; i++)
+        jobs[i].node = graph.add();
     std::vector<ChildSlot> slots;
     slots.reserve(max_children);
     size_t done = 0;
     bool cancelled = false;
 
+    auto pending = [&](size_t i) {
+        return !jobs[i].running && !graph.done(jobs[i].node);
+    };
+
+    // Retire the current attempt node and chain the next one behind
+    // it (the completed edge releases it immediately; eligibleAt adds
+    // the wall-clock backoff gate the graph doesn't model).
+    auto chainNextAttempt = [&](size_t i) {
+        TaskId next = graph.add({jobs[i].node});
+        graph.complete(jobs[i].node);
+        SSMT_ASSERT(graph.ready(next),
+                    "isolate: retry node not released");
+        jobs[i].node = next;
+        jobs[i].attempt++;
+        jobs[i].eligibleAt =
+            Clock::now() +
+            std::chrono::milliseconds(
+                backoffDelayMs(policy, jobs[i].attempt));
+    };
+
     auto completeJob = [&](size_t i) {
-        jobs[i].phase = JobState::Phase::Done;
+        graph.complete(jobs[i].node);
         done++;
         results[i].hostSeconds = secondsSince(jobs[i].startedAt);
         if (!results[i].ok()) {
@@ -208,12 +248,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
         results[i].error = msg;
         results[i].attempts = jobs[i].attempt + 1;
         if (jobs[i].attempt < policy.maxRetries) {
-            jobs[i].attempt++;
-            jobs[i].phase = JobState::Phase::Pending;
-            jobs[i].eligibleAt =
-                Clock::now() +
-                std::chrono::milliseconds(
-                    backoffDelayMs(policy, jobs[i].attempt));
+            chainNextAttempt(i);
         } else {
             completeJob(i);
         }
@@ -266,7 +301,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
                     std::chrono::duration<double>(
                         policy.wallDeadlineSeconds));
         }
-        jobs[i].phase = JobState::Phase::Running;
+        jobs[i].running = true;
         slots.push_back(std::move(slot));
     };
 
@@ -277,6 +312,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
         while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
         }
         const size_t i = slot.job;
+        jobs[i].running = false;
 
         if (slot.killedOnDeadline) {
             failAttempt(i, ErrorCode::JobKilled,
@@ -304,12 +340,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
                     jobs[i].attempt >= policy.maxRetries) {
                     completeJob(i);
                 } else {
-                    jobs[i].attempt++;
-                    jobs[i].phase = JobState::Phase::Pending;
-                    jobs[i].eligibleAt =
-                        Clock::now() +
-                        std::chrono::milliseconds(backoffDelayMs(
-                            policy, jobs[i].attempt));
+                    chainNextAttempt(i);
                 }
             } catch (const SimError &err) {
                 failAttempt(i, ErrorCode::JobCrashed,
@@ -344,7 +375,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
             auto now = Clock::now();
             for (size_t i = 0;
                  i < n && slots.size() < max_children; i++) {
-                if (jobs[i].phase == JobState::Phase::Pending &&
+                if (pending(i) && graph.ready(jobs[i].node) &&
                     jobs[i].eligibleAt <= now)
                     spawn(i);
             }
@@ -358,7 +389,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
             Clock::time_point wake{};
             bool have_wake = false;
             for (size_t i = 0; i < n; i++) {
-                if (jobs[i].phase == JobState::Phase::Pending &&
+                if (pending(i) &&
                     (!have_wake || jobs[i].eligibleAt < wake)) {
                     wake = jobs[i].eligibleAt;
                     have_wake = true;
@@ -384,7 +415,7 @@ runBatchIsolated(const std::vector<BatchJob> &batch,
             if (slot.hasDeadline && !slot.killedOnDeadline)
                 consider(slot.deadline);
         for (size_t i = 0; i < n; i++)
-            if (jobs[i].phase == JobState::Phase::Pending)
+            if (pending(i))
                 consider(jobs[i].eligibleAt);
 
         std::vector<pollfd> fds(slots.size());

@@ -11,7 +11,9 @@
  * a single-threaded event loop — poll() over child pipes, nonblocking
  * drains, wall-clock deadline SIGKILLs, waitpid reaping — that
  * schedules up to `workers` concurrent children and drives retries
- * with exponential backoff.
+ * with exponential backoff. Each job's attempt chain (retry,
+ * checkpoint→resume) is sequenced through a sim::TaskGraph: every
+ * attempt is a node, a retry is a node depending on its predecessor.
  *
  * Containment contract: a child that segfaults, aborts, OOMs, hangs
  * past its deadline or exits without a result becomes a typed error
@@ -20,10 +22,13 @@
  * byte-identical to the in-process path (the wire format excludes
  * host wall-clock for exactly this reason).
  *
- * fork() without exec() is only safe from a single-threaded process;
- * BatchRunner guarantees that by never spawning worker threads in
- * isolate mode. Callers must not invoke this from a multithreaded
- * context.
+ * fork() without exec() is only safe when no other thread is mid-
+ * operation holding a lock the child would inherit. BatchRunner never
+ * spawns pool work in isolate mode, and runBatchIsolated additionally
+ * holds a TaskRuntime::ForkGuard for its whole run, so any shared-
+ * pool workers started by earlier batches are quiesced (parked, no
+ * task in flight) across every fork(). Callers must not invoke this
+ * concurrently with unrelated thread activity of their own.
  */
 
 #ifndef SSMT_SIM_PROC_RUNNER_HH

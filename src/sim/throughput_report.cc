@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <thread>
 
 #include "sim/bench_json.hh"
+#include "sim/jobs.hh"
 #include "sim/golden.hh"
 #include "sim/json_text.hh"
 
@@ -43,7 +43,7 @@ ThroughputMachine
 ThroughputMachine::current()
 {
     ThroughputMachine m;
-    m.hostThreads = std::thread::hardware_concurrency();
+    m.hostThreads = sim::hostThreads();
     m.pointerBits = 8 * sizeof(void *);
 #if defined(__clang__)
     m.compiler = std::string("clang ") + __clang_version__;

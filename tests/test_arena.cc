@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Dedicated Arena unit tests: alignment guarantees across the power-
+ * of-two range, chunk growth and the undersized-chunk skip path,
+ * reset()'s retain-and-rewind contract, and ScratchVector growth
+ * across chunk boundaries. (test_flat_map.cc holds the original
+ * smoke coverage; these pin the allocator edges directly.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "sim/arena.hh"
+
+namespace
+{
+
+using namespace ssmt;
+
+TEST(ArenaTest, AllocationsRespectRequestedAlignment)
+{
+    sim::Arena arena;
+    for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+        // Offset the cursor by an odd amount first so alignment is
+        // actually exercised, not inherited from a fresh chunk.
+        arena.allocate(3, 1);
+        void *p = arena.allocate(8, align);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+}
+
+TEST(ArenaTest, ZeroByteAllocationsYieldDistinctPointers)
+{
+    sim::Arena arena;
+    void *a = arena.allocate(0, 1);
+    void *b = arena.allocate(0, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, AllocationsWithinAChunkDoNotOverlap)
+{
+    sim::Arena arena(1024);
+    std::vector<unsigned char *> blocks;
+    for (int i = 0; i < 64; i++) {
+        auto *p = static_cast<unsigned char *>(arena.allocate(16, 8));
+        std::memset(p, i, 16);
+        blocks.push_back(p);
+    }
+    for (int i = 0; i < 64; i++)
+        for (int j = 0; j < 16; j++)
+            EXPECT_EQ(blocks[i][j], static_cast<unsigned char>(i))
+                << "block " << i << " byte " << j;
+}
+
+TEST(ArenaTest, GrowsByChunksAndResetReusesThem)
+{
+    sim::Arena arena(1024);
+    EXPECT_EQ(arena.chunkCount(), 0u);
+    for (int i = 0; i < 100; i++)
+        arena.allocate(100, 8);
+    size_t grown = arena.chunkCount();
+    EXPECT_GT(grown, 1u);
+
+    // After reset the same workload fits in the retained chunks.
+    for (int round = 0; round < 5; round++) {
+        arena.reset();
+        for (int i = 0; i < 100; i++)
+            arena.allocate(100, 8);
+        EXPECT_EQ(arena.chunkCount(), grown) << "round " << round;
+    }
+}
+
+TEST(ArenaTest, ResetRewindsToTheSameStorage)
+{
+    sim::Arena arena;
+    void *first = arena.allocate(64, 16);
+    arena.allocate(512, 8);
+    arena.reset();
+    // The first allocation after reset lands back on chunk 0's
+    // storage (same bytes, recycled).
+    void *again = arena.allocate(64, 16);
+    EXPECT_EQ(first, again);
+}
+
+TEST(ArenaTest, OversizedRequestGetsADedicatedChunk)
+{
+    sim::Arena arena(1024);
+    arena.allocate(16, 8);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+
+    // Far larger than the chunk size: served from its own chunk,
+    // not by splitting across defaults.
+    auto *big =
+        static_cast<unsigned char *>(arena.allocate(10000, 8));
+    std::memset(big, 0xab, 10000);
+    EXPECT_EQ(arena.chunkCount(), 2u);
+    EXPECT_EQ(big[9999], 0xab);
+}
+
+TEST(ArenaTest, UndersizedRetainedChunksAreSkippedNotResized)
+{
+    // Build a small-then-big chunk list, reset, then make a request
+    // only the big chunk can serve: the undersized first chunk is
+    // skipped, no new chunk is acquired.
+    sim::Arena arena(1024);
+    arena.allocate(16, 8);          // chunk 0: 1024 bytes
+    arena.allocate(8000, 8);        // chunk 1: >= 8000 bytes
+    ASSERT_EQ(arena.chunkCount(), 2u);
+
+    arena.reset();
+    arena.allocate(4000, 8);        // skips chunk 0, reuses chunk 1
+    EXPECT_EQ(arena.chunkCount(), 2u);
+
+    // A later small request must not go back to the skipped chunk
+    // (it is parked until the next reset) — but the arena still
+    // serves it correctly from wherever the cursor is.
+    void *p = arena.allocate(16, 8);
+    EXPECT_NE(p, nullptr);
+    EXPECT_EQ(arena.chunkCount(), 2u);
+}
+
+TEST(ArenaTest, ScratchVectorGrowsAcrossChunkBoundaries)
+{
+    sim::Arena arena(1024);
+    sim::ArenaAllocator<uint64_t> alloc(arena);
+    sim::ScratchVector<uint64_t> v(alloc);
+    for (uint64_t i = 0; i < 1000; i++)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 1000u);
+    for (uint64_t i = 0; i < 1000; i++)
+        EXPECT_EQ(v[i], i);
+    EXPECT_GT(arena.chunkCount(), 1u);
+}
+
+TEST(ArenaTest, ScratchVectorsShareTheArenaAcrossResets)
+{
+    sim::Arena arena;
+    for (int round = 0; round < 3; round++) {
+        arena.reset();
+        sim::ArenaAllocator<uint32_t> alloc(arena);
+        sim::ScratchVector<uint32_t> a(alloc);
+        sim::ScratchVector<uint32_t> b(alloc);
+        for (uint32_t i = 0; i < 100; i++) {
+            a.push_back(i);
+            b.push_back(1000 + i);
+        }
+        for (uint32_t i = 0; i < 100; i++) {
+            EXPECT_EQ(a[i], i);
+            EXPECT_EQ(b[i], 1000 + i);
+        }
+    }
+}
+
+} // namespace

@@ -279,6 +279,63 @@ TEST(Campaign, GcRemovesOnlyUnreferencedEntries)
     EXPECT_EQ(outcome.executed, 0u);
 }
 
+TEST(Campaign, OnCellHookSeesEveryCellWithCacheState)
+{
+    sim::CampaignSpec spec = smallSpec();
+    std::string dir = freshDir("oncell");
+
+    std::vector<std::pair<std::string, bool>> seen;
+    sim::CampaignOptions opts;
+    opts.jobs = 1;
+    opts.onCell = [&](const sim::CampaignCell &cell,
+                      const std::string &key,
+                      const sim::BatchResult &result, bool cached) {
+        EXPECT_FALSE(key.empty());
+        EXPECT_TRUE(result.ok());
+        seen.emplace_back(cell.name, cached);
+    };
+    ASSERT_TRUE(sim::runCampaign(spec, dir, opts).completed);
+    ASSERT_EQ(seen.size(), 4u);
+    for (const auto &entry : seen)
+        EXPECT_FALSE(entry.second) << entry.first;
+
+    // Replay: the hook fires again for every cell, now cached.
+    seen.clear();
+    ASSERT_TRUE(sim::runCampaign(spec, dir, opts).completed);
+    ASSERT_EQ(seen.size(), 4u);
+    for (const auto &entry : seen)
+        EXPECT_TRUE(entry.second) << entry.first;
+}
+
+TEST(Campaign, JournalLagCountsStoredButUnjournaledCells)
+{
+    sim::CampaignSpec spec = smallSpec();
+    std::string dir = freshDir("lag");
+    sim::CampaignOptions opts;
+    opts.jobs = 1;
+    ASSERT_TRUE(sim::runCampaign(spec, dir, opts).completed);
+
+    sim::JournalContents journal =
+        sim::CampaignJournal::read(dir + "/journal.jsonl");
+    ASSERT_TRUE(journal.exists);
+    std::vector<std::string> keys =
+        sim::ResultStore(dir + "/store").list();
+    ASSERT_EQ(keys.size(), 4u);
+
+    // A clean run: every stored result was acknowledged.
+    EXPECT_EQ(sim::journalLag(journal, keys), 0u);
+
+    // Simulate a death between store.save and journal.append by
+    // adding store entries the journal never saw.
+    keys.push_back("phantom-key-1");
+    keys.push_back("phantom-key-2");
+    EXPECT_EQ(sim::journalLag(journal, keys), 2u);
+
+    // An empty journal lags by the whole store.
+    sim::JournalContents fresh;
+    EXPECT_EQ(sim::journalLag(fresh, keys), keys.size());
+}
+
 TEST(Campaign, UnknownWorkloadIsRejectedUpFront)
 {
     sim::CampaignSpec spec = smallSpec();

@@ -110,10 +110,10 @@ class ArgParser
 /**
  * Resolve a `--jobs N|auto` flag. The default (flag absent) and the
  * explicit "auto" spelling both mean "use every core": auto maps to
- * std::thread::hardware_concurrency(), an absent flag defers to the
- * BatchRunner resolution chain (SSMT_JOBS, then hardware
- * concurrency) so the environment override keeps working. A literal
- * 0 or malformed number exits 2.
+ * sim::hostThreads(), an absent flag defers to the shared
+ * sim::resolveJobs chain (SSMT_JOBS, then host cores) so the
+ * environment override keeps working. A literal 0 or malformed
+ * number exits 2.
  */
 unsigned jobsFlag(const ArgParser &args,
                   const std::string &flag = "--jobs");
@@ -148,6 +148,53 @@ std::vector<std::string> expandWorkloadList(const std::string &text);
 std::vector<workloads::WorkloadInfo>
 resolveWorkloads(const std::vector<std::string> &names,
                  const std::string &argv0);
+
+/**
+ * A line-delimited message stream over a Unix-domain socket: the
+ * client side of the ssmt-server-v1 wire protocol (DESIGN.md §9) and
+ * the server's per-connection transport. One message = one JSON
+ * object = one '\n'-terminated line; recvLine() buffers partial
+ * reads, sendLine() appends the terminator and retries short writes.
+ * SIGPIPE is suppressed per-send (MSG_NOSIGNAL), so a vanished peer
+ * surfaces as a false return, never a signal.
+ */
+class LineSocket
+{
+  public:
+    LineSocket() = default;
+    /** Adopt an already-connected fd (server side). */
+    explicit LineSocket(int fd) : fd_(fd) {}
+    ~LineSocket() { close(); }
+
+    LineSocket(LineSocket &&other) noexcept
+        : fd_(other.fd_), buffer_(std::move(other.buffer_))
+    {
+        other.fd_ = -1;
+    }
+    LineSocket &operator=(LineSocket &&other) noexcept;
+    LineSocket(const LineSocket &) = delete;
+    LineSocket &operator=(const LineSocket &) = delete;
+
+    /** Connect to the Unix socket at @p path. @return false (with
+     *  errno intact) on failure. */
+    bool connectTo(const std::string &path);
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send @p line + '\n'. @return false when the peer is gone. */
+    bool sendLine(const std::string &line);
+
+    /** Receive the next line (terminator stripped) into @p out.
+     *  Blocks. @return false on EOF/error with no complete line. */
+    bool recvLine(std::string *out);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;    ///< bytes past the last returned line
+};
 
 } // namespace cli
 } // namespace ssmt
